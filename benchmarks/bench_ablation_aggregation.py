@@ -1,0 +1,60 @@
+"""Ablation: class aggregation (Sec. IV-A's three claimed benefits).
+
+1. Input-size reduction: engine time on per-class vs per-flow inputs.
+2. Traffic smoothing: aggregated demands have lower coefficient of
+   variation (the power-law MVR argument).
+"""
+
+import numpy as np
+
+from repro.experiments.harness import standard_setup
+from repro.traffic.classes import TrafficClass
+from repro.traffic.diurnal import aggregate_smoothing_ratio
+
+
+def _split_into_flows(classes, flows_per_class: int):
+    """Explode each class into equal-rate 'flows' (the unaggregated input)."""
+    out = []
+    for c in classes:
+        for k in range(flows_per_class):
+            out.append(
+                TrafficClass(
+                    class_id=f"{c.class_id}/flow{k}",
+                    src=c.src,
+                    dst=c.dst,
+                    path=c.path,
+                    chain=c.chain,
+                    rate_mbps=c.rate_mbps / flows_per_class,
+                )
+            )
+    return out
+
+
+def test_engine_on_classes(benchmark):
+    topo, controller, series = standard_setup("internet2", snapshots=2)
+    classes = controller.build_classes(series.mean())
+    plan = benchmark(controller.engine.place, classes, controller.available_cores())
+    assert not plan.validate(controller.available_cores())
+
+
+def test_engine_on_flows(benchmark):
+    """Same demand, 4 flows per class: strictly larger model, slower solve."""
+    topo, controller, series = standard_setup("internet2", snapshots=2)
+    classes = controller.build_classes(series.mean())
+    flows = _split_into_flows(classes, 4)
+    plan = benchmark.pedantic(
+        controller.engine.place,
+        args=(flows, controller.available_cores()),
+        iterations=1,
+        rounds=1,
+    )
+    assert not plan.validate(controller.available_cores())
+    print(f"\nper-flow input: {len(flows)} vs {len(classes)} classes")
+
+
+def test_aggregation_smooths_traffic(benchmark):
+    """CV of aggregates < CV of individual demands under power-law MVR."""
+    topo, controller, series = standard_setup("internet2", snapshots=96)
+    ratio = benchmark(aggregate_smoothing_ratio, series, 8)
+    assert ratio < 0.9, f"aggregation did not smooth traffic (ratio={ratio})"
+    print(f"\nCV(aggregate)/CV(individual) = {ratio:.3f}")

@@ -1,0 +1,64 @@
+"""Ablation: fast-failover design choices.
+
+Sweeps (a) the detection delay — 30 ms ClickOS reconfigure vs multi-second
+full-VM boot, which is why the paper insists on ClickOS for failover — and
+(b) the provisioning headroom, the capacity slack that determines how much
+work failover has to do at all.
+"""
+
+import pytest
+
+from repro.core.dynamic import FailoverConfig
+from repro.core.engine import EngineConfig
+from repro.experiments.harness import REPLAY_HEADROOM, standard_setup
+from repro.traffic.replay import replay_series
+
+
+def _setup(headroom: float):
+    topo, controller, series = standard_setup(
+        "internet2",
+        snapshots=60,
+        interval=60.0,
+        seed=3,
+        engine_config=EngineConfig(capacity_headroom=headroom),
+    )
+    timeline = replay_series(controller.class_builder, series)
+    plan = controller.compute_placement(series.mean())
+    controller.deploy(plan)
+    return controller, timeline, plan
+
+
+@pytest.mark.parametrize("delay", [0.1, 0.6, 6.2])
+def test_detection_delay_sweep(benchmark, delay):
+    controller, timeline, _ = _setup(REPLAY_HEADROOM)
+    handler = controller.make_dynamic_handler(
+        FailoverConfig(enabled=True, detection_delay=delay)
+    )
+    result = benchmark.pedantic(
+        handler.replay, args=(timeline,), iterations=1, rounds=1
+    )
+    print(f"\ndelay={delay}s: mean loss {result.mean_loss:.5f}, "
+          f"extra cores {result.mean_extra_cores:.1f}")
+
+
+def test_slow_path_loses_more():
+    """A 6.2 s (full-VM) reaction forfeits most of fast failover's benefit."""
+    controller, timeline, _ = _setup(REPLAY_HEADROOM)
+    results = {}
+    for delay in (0.1, 30.0):
+        handler = controller.make_dynamic_handler(
+            FailoverConfig(enabled=True, detection_delay=delay)
+        )
+        results[delay] = handler.replay(timeline).mean_loss
+    assert results[0.1] <= results[30.0]
+
+
+@pytest.mark.parametrize("headroom", [1.0, 0.8])
+def test_headroom_sweep(benchmark, headroom):
+    controller, timeline, plan = _setup(headroom)
+    handler = controller.make_dynamic_handler(FailoverConfig(enabled=True))
+    result = benchmark.pedantic(
+        handler.replay, args=(timeline,), iterations=1, rounds=1
+    )
+    print(f"\nheadroom={headroom}: plan cores {plan.total_cores()}, "
+          f"mean loss {result.mean_loss:.5f}, extra {result.mean_extra_cores:.1f}")

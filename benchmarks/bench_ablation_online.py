@@ -1,0 +1,74 @@
+"""Ablation: online admission vs global re-optimisation (Sec. IV).
+
+The paper's Optimization Engine is global; online placement is its stated
+future work.  This bench measures the trade: the online placer admits a
+stream of arriving classes ~1000x faster per decision, at an instance-count
+premium over solving globally for the same set.
+"""
+
+import pytest
+
+from repro.core.engine import OptimizationEngine
+from repro.core.online import OnlinePlacementError, OnlinePlacer
+from repro.experiments.harness import standard_setup
+
+
+@pytest.fixture(scope="module")
+def arrival_stream():
+    topo, controller, series = standard_setup("internet2", snapshots=2)
+    classes = controller.build_classes(series.mean())
+    return classes, controller.available_cores()
+
+
+def test_online_admission_stream(benchmark, arrival_stream):
+    classes, cores = arrival_stream
+
+    def admit_all():
+        placer = OnlinePlacer(cores)
+        admitted = 0
+        for cls in classes:
+            try:
+                placer.admit(cls)
+                admitted += 1
+            except OnlinePlacementError:
+                pass
+        return placer, admitted
+
+    placer, admitted = benchmark(admit_all)
+    assert admitted == len(classes)
+    plan = placer.to_plan()
+    assert not plan.validate(cores)
+    print(f"\nonline: {admitted} classes -> {plan.total_instances()} instances")
+
+
+def test_global_optimisation_same_set(benchmark, arrival_stream):
+    classes, cores = arrival_stream
+    engine = OptimizationEngine()
+    plan = benchmark(engine.place, classes, cores)
+    assert not plan.validate(cores)
+    print(f"\nglobal: {plan.total_instances()} instances "
+          f"(LP bound {plan.lp_bound:.1f})")
+
+
+def test_online_premium_bounded(arrival_stream):
+    """Online pays at most ~2x the global engine's instance count."""
+    classes, cores = arrival_stream
+    placer = OnlinePlacer(cores)
+    for cls in classes:
+        placer.admit(cls)
+    online_total = placer.to_plan().total_instances()
+    global_total = OptimizationEngine().place(classes, cores).total_instances()
+    assert online_total <= 2.0 * global_total
+
+
+def test_online_on_top_of_global(arrival_stream):
+    """The intended deployment: global base plan + online for new flows."""
+    classes, cores = arrival_stream
+    base, extra = classes[: len(classes) // 2], classes[len(classes) // 2 :]
+    plan = OptimizationEngine().place(base, cores)
+    placer = OnlinePlacer(cores, base_plan=plan)
+    new_instances = 0
+    for cls in extra:
+        new_instances += len(placer.admit(cls).new_instances)
+    # Riding the base plan's spare capacity keeps additions modest.
+    assert new_instances < plan.total_instances()

@@ -1,0 +1,62 @@
+"""Ablation: LP-relaxation rounding vs exact branch-and-bound vs greedy.
+
+DESIGN.md calls out the solver strategy as a key design choice; this bench
+quantifies the optimality gap of the production rounding path against the
+exact ILP optimum on a small instance, and against the first-fit greedy
+heuristic, along with their run times.
+"""
+
+import pytest
+
+from repro.core.baselines import greedy_placement
+from repro.core.engine import EngineConfig, OptimizationEngine
+from repro.experiments.harness import standard_setup
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    topo, controller, series = standard_setup(
+        "internet2", snapshots=2, demand_mbps=6000.0
+    )
+    classes = controller.build_classes(series.mean())[:40]
+    return classes, controller.available_cores()
+
+
+def test_rounding_solver(benchmark, small_instance):
+    classes, cores = small_instance
+    engine = OptimizationEngine(config=EngineConfig(solver="rounding"))
+    plan = benchmark(engine.place, classes, cores)
+    assert not plan.validate(cores)
+    print(f"\nrounding: {plan.total_instances()} instances "
+          f"(LP bound {plan.lp_bound:.1f})")
+
+
+def test_exact_solver(benchmark, small_instance):
+    classes, cores = small_instance
+    engine = OptimizationEngine(
+        config=EngineConfig(solver="exact", max_bb_nodes=300)
+    )
+    plan = benchmark.pedantic(
+        engine.place, args=(classes, cores), iterations=1, rounds=1
+    )
+    assert not plan.validate(cores)
+    print(f"\nexact: {plan.total_instances()} instances")
+
+
+def test_greedy_heuristic(benchmark, small_instance):
+    classes, cores = small_instance
+    plan = benchmark(greedy_placement, classes, cores)
+    assert not plan.validate(cores)
+    print(f"\ngreedy: {plan.total_instances()} instances")
+
+
+def test_gap_ordering(small_instance):
+    """Both heuristics respect the LP bound and stay in the same band."""
+    classes, cores = small_instance
+    rounding = OptimizationEngine(
+        config=EngineConfig(solver="rounding")
+    ).place(classes, cores)
+    greedy = greedy_placement(classes, cores)
+    assert rounding.lp_bound <= rounding.total_instances() + 1e-9
+    assert rounding.lp_bound <= greedy.total_instances() + 1e-9
+    assert rounding.total_instances() <= 1.4 * greedy.total_instances()

@@ -1,0 +1,53 @@
+"""Ablation: sub-class realisation — consistent hashing vs prefix rules.
+
+Sec. V-A: hashing gives exactly one logical rule per sub-class but needs
+programmable hash support; the deployable prefix method "may need multiple
+rules to represent a single sub-class".  This bench quantifies the rule
+inflation of the prefix method across sub-class splits, which is exactly
+the TCAM pressure the tagging scheme then removes from non-ingress
+switches.
+"""
+
+import numpy as np
+
+from repro.classify.split import SubclassSplit
+
+
+def _random_splits(num_classes: int, max_subclasses: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    splits = []
+    for k in range(num_classes):
+        n = int(rng.integers(1, max_subclasses + 1))
+        weights = rng.dirichlet(np.ones(n)).tolist()
+        splits.append(SubclassSplit.from_weights(f"10.{k % 256}.0.0/16", weights))
+    return splits
+
+
+def _rule_counts(splits):
+    hashing = sum(s.num_subclasses for s in splits)
+    prefix = sum(s.total_prefix_rules() for s in splits)
+    return hashing, prefix
+
+
+def test_prefix_rule_inflation(benchmark):
+    splits = _random_splits(200, 6)
+    hashing, prefix = benchmark(_rule_counts, splits)
+    assert prefix >= hashing  # prefixes never beat one-rule-per-subclass
+    inflation = prefix / hashing
+    print(f"\nhashing rules: {hashing}, prefix rules: {prefix} "
+          f"({inflation:.2f}x inflation)")
+    # Arbitrary fractions need several CIDR blocks each.
+    assert inflation > 1.5
+
+
+def test_even_splits_are_cheap(benchmark):
+    """Power-of-two even splits map to exactly one prefix per sub-class."""
+    def build():
+        return [
+            SubclassSplit.from_weights(f"10.{k}.0.0/16", [0.25] * 4)
+            for k in range(100)
+        ]
+
+    splits = benchmark(build)
+    hashing, prefix = _rule_counts(splits)
+    assert prefix == hashing  # aligned boundaries: no inflation

@@ -1,0 +1,13 @@
+"""Bench for the failure-sweep extension."""
+
+from repro.experiments import failure_sweep
+
+
+def test_failure_sweep(benchmark, print_result):
+    result = benchmark.pedantic(
+        failure_sweep.run, kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    rows = {r[0]: r for r in result.rows}
+    # Failover strictly reduces loss under injected crashes.
+    assert rows[2][2] < rows[2][1]
+    print_result(result)

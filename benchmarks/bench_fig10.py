@@ -1,0 +1,17 @@
+"""Bench for Fig. 10: TCAM reduction from the tagging scheme."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"num_matrices": 4}, iterations=1, rounds=1
+    )
+    medians = {r[0]: r[3] for r in result.rows}
+    # Paper: at least ~4x reduction for all three topologies.
+    for name, median in medians.items():
+        assert median >= 4.0, f"{name}: reduction {median} < 4x"
+    # Largest reduction on the multipath data center.
+    assert medians["univ1"] >= medians["internet2"]
+    assert medians["univ1"] >= medians["geant"]
+    print_result(result)

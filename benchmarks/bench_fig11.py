@@ -1,0 +1,16 @@
+"""Bench for Fig. 11: average CPU core usage vs the ingress strawman."""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig11.run, kwargs={"num_matrices": 3}, iterations=1, rounds=1
+    )
+    reductions = {r[0]: r[3] for r in result.rows}
+    # Paper shape: ~4x on Internet2, ~2.5x on GEANT, small gap on UNIV1.
+    assert 3.0 <= reductions["internet2"] <= 5.5
+    assert 2.0 <= reductions["geant"] <= 3.5
+    assert reductions["univ1"] < reductions["geant"]
+    assert reductions["univ1"] < reductions["internet2"]
+    print_result(result)

@@ -1,0 +1,21 @@
+"""Bench for Fig. 12: loss over time with and without fast failover."""
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig12.run, kwargs={"snapshots": 60}, iterations=1, rounds=1
+    )
+    for row in result.rows:
+        name, mean_no, max_no, mean_fo, max_fo, extra = row
+        # Failover keeps the loss much lower (mean and worst case).
+        assert mean_fo <= mean_no
+        assert max_fo <= max_no
+        # Only a few extra ClickOS instances are needed (paper: < 17 avg
+        # cores; allow slack for the non-Internet2 regimes).
+        assert extra < 60, f"{name}: {extra} extra cores"
+    by_name = {r[0]: r for r in result.rows}
+    # The headline Internet2 numbers match the paper's claim directly.
+    assert by_name["internet2"][5] < 20
+    print_result(result)

@@ -1,0 +1,45 @@
+"""Benches for the Fig. 5 pipeline breakdown and the packet-level replay."""
+
+from repro.experiments import fig5, packet_replay
+
+
+def test_fig5_breakdown(benchmark, print_result):
+    result = benchmark.pedantic(fig5.run, iterations=1, rounds=1)
+    rows = {r[0]: r[1] for r in result.rows}
+    # Networking orchestration (Steps 1-5) dominates the end-to-end boot.
+    assert rows["Steps 1-5 measured (networking orchestration)"] > rows[
+        "Steps 6-8 measured (libvirt + image + boot)"
+    ]
+    assert 3.9 <= rows["end-to-end boot (mean)"] <= 4.6
+    assert rows["Step 9 ClickOS reconfigure"] == 0.03
+    assert rows["Steps 10-11 rule install"] == 0.07
+    # The fast path is two orders of magnitude below the slow path.
+    assert rows["fast path (reconfigure spare), measured"] < 0.05
+    print_result(result)
+
+
+def test_packet_replay_planned_load(benchmark, print_result):
+    result = benchmark.pedantic(
+        packet_replay.run, kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    rows = {r[0]: r[1] for r in result.rows}
+    assert rows["policy violations"] == 0
+    # At planned load, residual loss is only CBR-superposition burstiness.
+    assert rows["measured loss"] < 0.05
+    print_result(result)
+
+
+def test_packet_replay_overload_tracks_fluid(benchmark, print_result):
+    result = benchmark.pedantic(
+        packet_replay.run,
+        kwargs={"overload_factor": 1.6, "quick": True},
+        iterations=1,
+        rounds=1,
+    )
+    rows = {r[0]: r[1] for r in result.rows}
+    assert rows["policy violations"] == 0
+    measured, fluid = rows["measured loss"], rows["fluid-model loss"]
+    # Same order of magnitude; the fluid model is conservative because it
+    # composes per-step losses on the full offered load.
+    assert 0.5 * fluid <= measured <= 1.3 * fluid
+    print_result(result)

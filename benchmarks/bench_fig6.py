@@ -1,0 +1,27 @@
+"""Bench for Fig. 6: loss rate vs receiving rate of a passive monitor."""
+
+from repro.experiments import fig6
+from repro.experiments.fig6 import MONITOR_CAPACITY_PPS, measure_loss
+
+
+def test_fig6(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig6.run, kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    rows = {r[0]: r for r in result.rows}
+    # Below the knee: no loss at any packet size.
+    assert rows[2.0][1] == 0.0 and rows[2.0][2] == 0.0
+    # Above the knee: loss soars and is packet-size independent.
+    assert rows[14.0][1] > 0.3
+    assert abs(rows[14.0][1] - rows[14.0][2]) < 0.02
+    print_result(result)
+
+
+def test_fig6_packet_level_rate(benchmark):
+    """Single-point packet-level measurement (the hot inner loop)."""
+    loss = benchmark.pedantic(
+        measure_loss, args=(12_000.0, 1500), kwargs={"duration": 1.0},
+        iterations=1, rounds=3,
+    )
+    expected = 1.0 - MONITOR_CAPACITY_PPS / 12_000.0
+    assert abs(loss - expected) < 0.05

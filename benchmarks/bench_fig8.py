@@ -1,0 +1,18 @@
+"""Bench for Fig. 8: CDF of 20 MB file transfer time across scenarios."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, print_result):
+    result = benchmark.pedantic(
+        fig8.run, kwargs={"runs": 10}, iterations=1, rounds=1
+    )
+    rows = {r[0]: r for r in result.rows}
+    medians = {k: rows[k][3] for k in rows}
+    # The three no-outage scenarios coincide (within statistical noise).
+    base = medians["no-failover"]
+    assert abs(medians["wait-5s"] - base) < 0.5 * base
+    assert abs(medians["reconfigure"] - base) < 0.5 * base
+    # The naive flip-before-boot pays for the ~4.2 s boot (plus RTO backoff).
+    assert medians["naive"] > base + 4.0
+    print_result(result)

@@ -1,0 +1,20 @@
+"""Bench for Fig. 9: overload detection, failover, rollback, zero loss."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, print_result):
+    result = benchmark.pedantic(fig9.run, iterations=1, rounds=1)
+    events = [r[1] for r in result.rows]
+    assert "rate->10Kpps" in events
+    assert "overload-detected" in events
+    assert "split-active" in events
+    assert "rollback" in events
+    # Detection is immediate: within ~0.3 s of the surge.
+    surge_t = next(r[0] for r in result.rows if r[1] == "rate->10Kpps")
+    detect_t = next(r[0] for r in result.rows if r[1] == "overload-detected")
+    assert detect_t - surge_t < 0.35
+    # Paper: 0% loss during the whole process.
+    loss = next(r[2] for r in result.rows if r[1] == "total packet loss")
+    assert loss == 0
+    print_result(result)

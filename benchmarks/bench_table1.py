@@ -1,0 +1,11 @@
+"""Bench for Table I: framework property comparison (qualitative)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, print_result):
+    result = benchmark(table1.run)
+    assert [r for r in result.rows if r[0] == "APPLE"][0][1:] == ["yes", "yes", "yes"]
+    only_complete = [r[0] for r in result.rows if r[1:] == ["yes", "yes", "yes"]]
+    assert only_complete == ["APPLE"]
+    print_result(result)

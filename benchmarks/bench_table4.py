@@ -1,0 +1,12 @@
+"""Bench for Table IV: the VNF datasheet catalog."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, print_result):
+    result = benchmark(table4.run)
+    by_name = {r[0]: r for r in result.rows}
+    assert by_name["firewall"][1] == 4 and by_name["firewall"][3] == "yes"
+    assert by_name["ids"][1] == 8 and by_name["ids"][2] == "600 Mbps"
+    assert by_name["nat"][1] == 2
+    print_result(result)

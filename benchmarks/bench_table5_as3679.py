@@ -1,0 +1,23 @@
+"""Bench for Table V's large-topology row: Rocketfuel AS-3679.
+
+Separated from the main Table V bench because the 79-switch model takes
+seconds per solve (the paper reports 3.013 s on CPLEX).
+"""
+
+from repro.experiments.harness import standard_setup
+
+
+def test_table5_as3679(benchmark):
+    topo, controller, series = standard_setup("as3679", snapshots=2)
+    classes = controller.build_classes(series.mean())
+    cores = controller.available_cores()
+
+    plan = benchmark.pedantic(
+        controller.engine.place, args=(classes, cores), iterations=1, rounds=1
+    )
+    assert plan.total_instances() > 0
+    assert not plan.validate(cores)
+    print(
+        f"\nAS-3679: {len(classes)} classes, {plan.total_instances()} instances, "
+        f"{plan.solve_seconds:.2f}s (paper: 3.013s on CPLEX)"
+    )

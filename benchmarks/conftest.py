@@ -1,0 +1,14 @@
+"""Shared benchmark fixtures and result reporting."""
+
+import pytest
+
+
+def report(result) -> None:
+    """Print a reproduced table/figure under the benchmark output."""
+    print()
+    print(result.format())
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    return report

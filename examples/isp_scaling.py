@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Optimization Engine scaling on ISP-like topologies (Table V, extended).
+
+Sweeps generated router-level topologies from 10 to 79 nodes (the AS-3679
+footprint) and reports model size and solve time, showing the growth the
+paper's Table V samples at four points.
+
+Usage::
+
+    python examples/isp_scaling.py [--max-nodes 79]
+"""
+
+import argparse
+import time
+
+from repro.core.controller import AppleController
+from repro.topology.generators import isp_like
+from repro.traffic.classes import hashed_assignment
+from repro.traffic.gravity import gravity_matrix
+from repro.vnf.chains import STANDARD_CHAINS
+
+
+def run_point(nodes: int, links: int, demand: float, seed: int = 1):
+    topo = isp_like(num_nodes=nodes, num_links=links, seed=seed)
+    controller = AppleController(
+        topo, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0
+    )
+    matrix = gravity_matrix(topo, demand, seed=seed)
+    started = time.perf_counter()
+    plan = controller.compute_placement(matrix)
+    wall = time.perf_counter() - started
+    problems = plan.validate(controller.available_cores())
+    assert not problems, problems
+    return len(controller.classes), plan, wall
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-nodes", type=int, default=79)
+    args = parser.parse_args()
+
+    points = [(10, 18), (20, 38), (40, 75), (60, 112), (79, 147)]
+    points = [(n, l) for n, l in points if n <= args.max_nodes]
+
+    print(f"{'nodes':>6} {'links':>6} {'classes':>8} {'instances':>10} "
+          f"{'solve (s)':>10} {'total (s)':>10}")
+    for nodes, links in points:
+        demand = 800.0 * nodes  # keep per-pair rates comparable across sizes
+        classes, plan, wall = run_point(nodes, links, demand)
+        print(f"{nodes:>6} {links:>6} {classes:>8} "
+              f"{plan.total_instances():>10} {plan.solve_seconds:>10.3f} "
+              f"{wall:>10.3f}")
+    print("\npaper's Table V (CPLEX): internet2 0.029s, geant 0.1s, "
+          "univ1 0.235s, AS-3679 (79 nodes) 3.013s — same growth shape.")
+
+
+if __name__ == "__main__":
+    main()

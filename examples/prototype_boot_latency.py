@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The prototype's VM-initiation pipeline and why reconfiguration wins.
+
+Walks the Fig. 5 step sequence on the cloud substrate: boots ClickOS VMs
+through the OpenStack/OpenDaylight facades (measuring the 3.9–4.6 s
+end-to-end latency the paper reports), then contrasts the fast path — a
+30 ms reconfiguration of a pre-booted spare — which is what makes fast
+failover react in tens of milliseconds.
+
+Usage::
+
+    python examples/prototype_boot_latency.py
+"""
+
+from repro.cloud.orchestrator import ResourceOrchestrator
+from repro.sim.kernel import Simulator
+from repro.topology.graph import AppleHostSpec, Link, Topology
+from repro.vnf.types import FIREWALL, IDS
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    topo = Topology(
+        "lab",
+        ["s1", "s2"],
+        [Link("s1", "s2")],
+        hosts={"s1": AppleHostSpec(cores=64)},
+    )
+    orch = ResourceOrchestrator(sim, topo, spare_clickos=2)
+    sim.run(until=0.5)  # let the spare pool boot
+
+    print("== slow path: fresh ClickOS VMs through OpenStack (Fig. 5) ==")
+    slow_reqs = [
+        orch.launch_instance(FIREWALL, "s1") for _ in range(5)
+    ]
+    sim.run(until=30.0)
+    for k, req in enumerate(slow_reqs):
+        print(f"   boot {k}: {req.latency:.2f} s")
+    stack = orch.openstacks["s1"]
+    timeline = stack.timelines[0]
+    print("   step breakdown of boot 0:")
+    print(f"     networking ready (Steps 1-5): "
+          f"{timeline.network_ready_at - timeline.requested_at:.2f} s")
+    print(f"     libvirt + image + boot (Steps 6-8): "
+          f"{timeline.running_at - timeline.network_ready_at:.2f} s")
+
+    print("\n== slow path: a full VM (IDS) is even slower ==")
+    req = orch.launch_instance(IDS, "s1")
+    sim.run(until=60.0)
+    print(f"   IDS ready after {req.latency:.2f} s "
+          f"(guest boot + generic configuration)")
+
+    print("\n== fast path: reconfigure a pre-booted spare (Sec. VIII-D) ==")
+    fast = orch.launch_instance(FIREWALL, "s1", fast=True)
+    sim.run(until=61.0)
+    print(f"   firewall ready after {fast.latency*1000:.0f} ms "
+          f"— {slow_reqs[0].latency / fast.latency:.0f}x faster")
+    print(f"   spares remaining: {orch.spare_count('s1')}")
+
+    print(f"\nhost resource view (A_v): {orch.available_resources()}")
+
+
+if __name__ == "__main__":
+    main()

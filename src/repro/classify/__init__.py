@@ -1,0 +1,36 @@
+"""Flow classification: header-space predicates, atomic predicates, splits.
+
+Sec. IV-A aggregates flows into equivalence classes using atomic-predicate
+analysis [44][42]; Sec. V-A splits classes into sub-classes realised either
+by consistent hashing or by prefix (wildcard-rule) sets.  This package
+implements all three pieces from scratch:
+
+* :mod:`repro.classify.predicates` — header-space predicates as unions of
+  disjoint multi-field cubes (the BDD replacement; see DESIGN.md);
+* :mod:`repro.classify.atomic` — Yang–Lam-style atomic-predicate partition;
+* :mod:`repro.classify.rules` — match rules and IPv4-prefix handling;
+* :mod:`repro.classify.split` — hash-range → minimal prefix-set conversion
+  (the TCAM cost of the prefix sub-class method).
+"""
+
+from repro.classify.atomic import AtomicPredicates, compute_atomic_predicates
+from repro.classify.fields import DEFAULT_FIELDS, HeaderField, FieldSpace
+from repro.classify.predicates import Cube, Predicate
+from repro.classify.rules import MatchRule, prefix_cube, parse_prefix
+from repro.classify.split import fraction_to_prefixes, range_to_cidrs, SubclassSplit
+
+__all__ = [
+    "HeaderField",
+    "FieldSpace",
+    "DEFAULT_FIELDS",
+    "Cube",
+    "Predicate",
+    "AtomicPredicates",
+    "compute_atomic_predicates",
+    "MatchRule",
+    "prefix_cube",
+    "parse_prefix",
+    "fraction_to_prefixes",
+    "range_to_cidrs",
+    "SubclassSplit",
+]

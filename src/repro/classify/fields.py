@@ -1,0 +1,83 @@
+"""Packet-header fields and the header space they span.
+
+A header is modelled as a tuple of unsigned integer fields (source address,
+destination address, protocol, ports).  Predicates constrain each field to
+integer intervals; the cross-product of field domains is the header space
+over which atomic predicates partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class HeaderField:
+    """One header field: a name and a bit width.
+
+    The field's domain is ``[0, 2**bits - 1]``.
+    """
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.bits > 128:
+            raise ValueError(f"field {self.name!r}: bits must be in 1..128")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def size(self) -> int:
+        """Number of values in the domain."""
+        return 1 << self.bits
+
+
+class FieldSpace:
+    """An ordered set of header fields defining the header space."""
+
+    def __init__(self, fields: Sequence[HeaderField]) -> None:
+        if not fields:
+            raise ValueError("FieldSpace needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names")
+        self.fields: Tuple[HeaderField, ...] = tuple(fields)
+        self._by_name: Dict[str, HeaderField] = {f.name: f for f in fields}
+
+    def __iter__(self) -> Iterator[HeaderField]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def field(self, name: str) -> HeaderField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown field {name!r}; known: {[f.name for f in self.fields]}"
+            ) from None
+
+    def total_volume(self) -> int:
+        """Number of distinct headers in the full space."""
+        vol = 1
+        for f in self.fields:
+            vol *= f.size
+        return vol
+
+
+SRC_IP = HeaderField("src_ip", 32)
+DST_IP = HeaderField("dst_ip", 32)
+PROTO = HeaderField("proto", 8)
+SRC_PORT = HeaderField("src_port", 16)
+DST_PORT = HeaderField("dst_port", 16)
+
+#: The 5-tuple header space used across the repository.
+DEFAULT_FIELDS = FieldSpace([SRC_IP, DST_IP, PROTO, SRC_PORT, DST_PORT])

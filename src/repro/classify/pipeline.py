@@ -1,0 +1,126 @@
+"""The full Sec. IV-A classification pipeline: rules → atoms → classes.
+
+Connects the classification substrate to class building: network operators
+write policy *rule tables* (match → chain); atomic-predicate analysis
+partitions header space so that every rule is a union of atoms; flows in
+the same atom with the same (ingress, egress) pair — hence the same path —
+form one traffic class.  "We use the recently developed atomic predicate
+based analysis to classify flows into equivalence classes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classify.atomic import AtomicPredicates, compute_atomic_predicates
+from repro.classify.fields import DEFAULT_FIELDS, FieldSpace
+from repro.classify.rules import MatchRule
+from repro.topology.routing import Router
+from repro.traffic.classes import TrafficClass
+from repro.vnf.chains import PolicyChain
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One row of an operator policy table: match → chain."""
+
+    match: MatchRule
+    chain: PolicyChain
+
+
+class PolicyRuleTable:
+    """A first-match-wins policy table over header space.
+
+    Args:
+        rules: rules in priority order; a final catch-all
+            (``MatchRule()``) is conventional but not required — headers
+            matching no rule get no chain (and need no VNF placement).
+    """
+
+    def __init__(self, rules: Sequence[PolicyRule], space: FieldSpace = DEFAULT_FIELDS):
+        self.rules: Tuple[PolicyRule, ...] = tuple(rules)
+        self.space = space
+        self._atoms: Optional[AtomicPredicates] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def atoms(self) -> AtomicPredicates:
+        """Atomic predicates of the rule matches (computed once)."""
+        if self._atoms is None:
+            self._atoms = compute_atomic_predicates(
+                self.space, [r.match.to_predicate() for r in self.rules]
+            )
+        return self._atoms
+
+    def chain_for_atom(self, atom_index: int) -> Optional[PolicyChain]:
+        """The chain the first matching rule assigns to an atom."""
+        for rule_idx, atom_set in enumerate(self.atoms.labels):
+            if atom_index in atom_set:
+                return self.rules[rule_idx].chain
+        return None
+
+    def chain_for_header(self, header: Dict[str, int]) -> Optional[PolicyChain]:
+        """First-match-wins lookup for a concrete header."""
+        return self.chain_for_atom(self.atoms.atom_of_header(header))
+
+    def atom_traffic_shares(self) -> List[Tuple[int, float]]:
+        """(atom index, volume share) pairs, assuming uniform header mass.
+
+        The share weights how much of a demand falls into each atom when
+        no finer traffic information exists.
+        """
+        total = self.space.total_volume()
+        return [
+            (k, atom.volume() / total) for k, atom in enumerate(self.atoms.atoms)
+        ]
+
+
+def classes_from_rules(
+    table: PolicyRuleTable,
+    router: Router,
+    demands: Sequence[Tuple[str, str, float]],
+    min_share: float = 1e-6,
+) -> List[TrafficClass]:
+    """Build traffic classes from a policy table and pairwise demands.
+
+    Each (src, dst, rate) demand is split across the table's atoms by
+    volume share; atoms assigned the same chain are merged (they are
+    indistinguishable to placement), giving exactly the paper's
+    equivalence classes: same path + same policy chain.
+
+    Args:
+        demands: (ingress switch, egress switch, rate in Mbps) triples.
+        min_share: atoms carrying less than this share of a demand are
+            dropped as noise.
+    """
+    # Merge atoms by their assigned chain.
+    share_by_chain: Dict[PolicyChain, float] = {}
+    for atom_idx, share in table.atom_traffic_shares():
+        chain = table.chain_for_atom(atom_idx)
+        if chain is None or len(chain) == 0:
+            continue
+        share_by_chain[chain] = share_by_chain.get(chain, 0.0) + share
+
+    classes: List[TrafficClass] = []
+    for src, dst, rate in demands:
+        if src == dst or rate <= 0:
+            continue
+        path = router.path(src, dst)
+        for k, (chain, share) in enumerate(sorted(
+            share_by_chain.items(), key=lambda kv: kv[0].names
+        )):
+            if share < min_share:
+                continue
+            classes.append(
+                TrafficClass(
+                    class_id=f"{src}->{dst}/{'+'.join(chain.names)}",
+                    src=src,
+                    dst=dst,
+                    path=path,
+                    chain=chain,
+                    rate_mbps=rate * share,
+                    share=min(share, 1.0),
+                )
+            )
+    return classes

@@ -1,0 +1,71 @@
+"""APPLE core: the paper's primary contribution.
+
+* :mod:`repro.core.engine` — the Optimization Engine (ILP of Eq. 1–8,
+  solved by LP relaxation + rounding);
+* :mod:`repro.core.placement` — placement-plan result types;
+* :mod:`repro.core.subclasses` — sub-class assignment from the spatial
+  distribution d (Sec. V-A, monotone-coupling construction);
+* :mod:`repro.core.rulegen` — the Rule Generator (Table III layouts, vSwitch
+  rules, TCAM accounting with and without tagging);
+* :mod:`repro.core.dynamic` — the Dynamic Handler and fast failover (Sec. VI);
+* :mod:`repro.core.controller` — the central controller wiring everything;
+* :mod:`repro.core.baselines` — the ingress strawman, the no-tagging TCAM
+  scheme, a greedy placement heuristic, and Table I's framework comparison.
+"""
+
+from repro.core.baselines import (
+    FRAMEWORK_COMPARISON,
+    greedy_placement,
+    ingress_placement,
+)
+from repro.core.controller import AppleController
+from repro.core.dynamic import DynamicHandler, FailoverEvent
+from repro.core.engine import EngineConfig, OptimizationEngine
+from repro.core.metrics import (
+    cross_product_penalty,
+    loss_over_time,
+    plan_core_usage,
+    tcam_usage_cross_product,
+    tcam_usage_with_tagging,
+    tcam_usage_without_tagging,
+)
+from repro.core.online import OnlineDecision, OnlinePlacementError, OnlinePlacer
+from repro.core.periodic import PeriodicReoptimizer, ReoptimizationReport
+from repro.core.provisioning import OrchestatedProvisioner, ProvisioningResult
+from repro.core.verify import verify_deployment, VerificationReport
+from repro.core.placement import InstanceRef, PlacementPlan
+from repro.core.rulegen import GeneratedRules, RuleGenerator
+from repro.core.subclasses import Subclass, SubclassPlan, assign_subclasses
+
+__all__ = [
+    "OptimizationEngine",
+    "EngineConfig",
+    "PlacementPlan",
+    "InstanceRef",
+    "Subclass",
+    "SubclassPlan",
+    "assign_subclasses",
+    "RuleGenerator",
+    "GeneratedRules",
+    "DynamicHandler",
+    "FailoverEvent",
+    "AppleController",
+    "ingress_placement",
+    "greedy_placement",
+    "FRAMEWORK_COMPARISON",
+    "plan_core_usage",
+    "tcam_usage_with_tagging",
+    "tcam_usage_without_tagging",
+    "tcam_usage_cross_product",
+    "cross_product_penalty",
+    "loss_over_time",
+    "OnlinePlacer",
+    "OnlineDecision",
+    "OnlinePlacementError",
+    "PeriodicReoptimizer",
+    "ReoptimizationReport",
+    "OrchestatedProvisioner",
+    "ProvisioningResult",
+    "verify_deployment",
+    "VerificationReport",
+]

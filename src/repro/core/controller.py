@@ -1,0 +1,162 @@
+"""The APPLE central controller: the glue of Fig. 1.
+
+Wires the control-plane applications together: classes are built from a
+traffic matrix + routing + policies, the Optimization Engine computes a
+placement, sub-classes realise it, the Rule Generator installs data-plane
+rules, and the Dynamic Handler watches for overload.  Examples and
+integration tests drive the system through this façade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dynamic import DynamicHandler, FailoverConfig
+from repro.core.engine import EngineConfig, OptimizationEngine
+from repro.core.metrics import free_cores_after
+from repro.core.placement import PlacementPlan
+from repro.core.rulegen import GeneratedRules, RuleGenerator
+from repro.core.subclasses import SubclassPlan, assign_subclasses
+from repro.dataplane.network import DataPlaneNetwork, DeliveryRecord
+from repro.dataplane.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.topology.graph import Topology
+from repro.topology.routing import Router
+from repro.traffic.classes import ClassBuilder, PolicyAssignment, TrafficClass
+from repro.traffic.matrix import TrafficMatrix
+from repro.vnf.instance import VNFInstance
+from repro.vnf.types import DEFAULT_CATALOG, NFTypeCatalog
+
+
+@dataclass
+class Deployment:
+    """A realised placement: everything needed to push packets."""
+
+    plan: PlacementPlan
+    subclass_plan: SubclassPlan
+    rules: GeneratedRules
+    network: DataPlaneNetwork
+    instances: Dict[str, VNFInstance]
+
+
+class AppleController:
+    """End-to-end APPLE controller over one topology.
+
+    Args:
+        topo: the network; its ``hosts`` map defines APPLE host capacity.
+        assignment: policy assignment mapping (src, dst) → chains+shares.
+        catalog: NF datasheets.
+        ecmp: whether routing (the interference-free input) uses ECMP.
+        engine_config: Optimization Engine tunables.
+        min_rate_mbps: demands at or below this are ignored by class building.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        assignment: PolicyAssignment,
+        catalog: NFTypeCatalog = DEFAULT_CATALOG,
+        ecmp: bool = False,
+        engine_config: Optional[EngineConfig] = None,
+        min_rate_mbps: float = 0.0,
+    ) -> None:
+        self.topo = topo
+        self.catalog = catalog
+        self.router = Router(topo, ecmp=ecmp)
+        self.class_builder = ClassBuilder(
+            self.router, assignment, min_rate_mbps=min_rate_mbps
+        )
+        self.engine = OptimizationEngine(catalog, engine_config)
+        self.rule_generator = RuleGenerator(catalog)
+        self.classes: List[TrafficClass] = []
+        self.deployment: Optional[Deployment] = None
+
+    # ------------------------------------------------------------------
+    def available_cores(self) -> Dict[str, int]:
+        """A_v (core dimension) per switch from the topology's host specs."""
+        return {s: spec.cores for s, spec in self.topo.hosts.items()}
+
+    def available_memory_gb(self) -> Dict[str, float]:
+        """A_v (memory dimension) per switch from the host specs."""
+        return {s: spec.memory_gb for s, spec in self.topo.hosts.items()}
+
+    def build_classes(self, matrix: TrafficMatrix) -> List[TrafficClass]:
+        """Aggregate the matrix's demands into equivalence classes."""
+        self.classes = self.class_builder.build(matrix)
+        return self.classes
+
+    def compute_placement(
+        self, matrix: Optional[TrafficMatrix] = None
+    ) -> PlacementPlan:
+        """Run the Optimization Engine (building classes first if needed)."""
+        if matrix is not None:
+            self.build_classes(matrix)
+        if not self.classes:
+            raise ValueError("no traffic classes; pass a matrix or build classes")
+        return self.engine.place(
+            self.classes,
+            self.available_cores(),
+            available_memory_gb=self.available_memory_gb(),
+        )
+
+    def deploy(
+        self, plan: PlacementPlan, sim: Optional[Simulator] = None
+    ) -> Deployment:
+        """Realise a plan: sub-classes, rules, and a wired data plane."""
+        subclass_plan = assign_subclasses(plan)
+        rules = self.rule_generator.generate(plan.classes, subclass_plan)
+        network = DataPlaneNetwork(self.topo)
+        instances = self.rule_generator.install(
+            rules, network, plan.classes, sim=sim
+        )
+        self.deployment = Deployment(plan, subclass_plan, rules, network, instances)
+        return self.deployment
+
+    def run(
+        self, matrix: TrafficMatrix, sim: Optional[Simulator] = None
+    ) -> Deployment:
+        """Convenience: classes → placement → deployment in one call."""
+        plan = self.compute_placement(matrix)
+        return self.deploy(plan, sim=sim)
+
+    # ------------------------------------------------------------------
+    def send_packet(
+        self,
+        class_id: str,
+        flow_hash: float,
+        size_bytes: int = 1500,
+        now: float = 0.0,
+    ) -> DeliveryRecord:
+        """Inject one packet of a class into the deployed data plane."""
+        if self.deployment is None:
+            raise RuntimeError("deploy a placement before sending packets")
+        cls = next(
+            (c for c in self.deployment.plan.classes if c.class_id == class_id), None
+        )
+        if cls is None:
+            raise KeyError(f"unknown class {class_id!r}")
+        packet = Packet(
+            class_id=class_id,
+            flow_hash=flow_hash,
+            src=cls.src,
+            dst=cls.dst,
+            size_bytes=size_bytes,
+        )
+        return self.deployment.network.inject(packet, now=now)
+
+    def make_dynamic_handler(
+        self, config: Optional[FailoverConfig] = None
+    ) -> DynamicHandler:
+        """A Dynamic Handler bound to the current deployment."""
+        if self.deployment is None:
+            raise RuntimeError("deploy a placement before creating the handler")
+        return DynamicHandler(
+            self.deployment.plan,
+            self.deployment.subclass_plan,
+            self.catalog,
+            free_cores=free_cores_after(
+                self.deployment.plan, self.available_cores()
+            ),
+            config=config,
+        )

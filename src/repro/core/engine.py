@@ -1,0 +1,576 @@
+"""The Optimization Engine: traffic-aware VNF placement (Sec. IV).
+
+Builds the ILP of Eq. 1–8 over traffic classes and solves it by LP
+relaxation + iterative rounding (the paper's CPLEX-with-LP-relaxation
+production path) or exactly by branch-and-bound for small instances.
+
+Formulation notes:
+
+* The derived variable σ_{h,j}^i (cumulative portion processed up to path
+  position i) is substituted away: σ_{h,j}^i = Σ_{i'≤i} d_{h,j}^{i'}, which
+  removes a third of the variables without changing the polytope.
+* d variables exist only at path positions whose switch has an APPLE host —
+  elsewhere the portion is identically zero.
+* q variables exist only for (switch, NF) pairs some class can actually
+  use, keeping the model sparse.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.placement import PlacementPlan
+from repro.solver.branch_bound import solve_branch_bound
+from repro.solver.lp import solve_lp, SolverError
+from repro.solver.model import LinExpr, Model
+from repro.solver.rounding import solve_with_rounding
+from repro.traffic.classes import TrafficClass
+from repro.vnf.types import DEFAULT_CATALOG, NFTypeCatalog
+
+
+class PlacementError(RuntimeError):
+    """Raised when no feasible placement exists (e.g. no host on a path)."""
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of the Optimization Engine.
+
+    Attributes:
+        solver: ``"rounding"`` (LP relaxation + round-up, the paper's path)
+            or ``"exact"`` (branch-and-bound, small instances only).
+        min_class_rate_mbps: classes below this rate are clamped up to it,
+            so even near-idle classes receive (shared) instances — APPLE
+            provisions proactively for potential flows (Sec. I).
+        max_bb_nodes: node limit for the exact solver.
+        consolidate: run the dust-consolidation pass after rounding, which
+            evacuates lightly loaded instances into other instances' spare
+            capacity (order-preserving) to shrink the integrality gap.
+        capacity_headroom: fraction of each instance's capacity the engine
+            may plan onto (Eq. 5 uses headroom x Cap_n).  Below 1.0 the
+            placement keeps slack for traffic dynamics, mirroring the
+            paper's practice of setting the overload threshold below the
+            measured loss knee.
+        compare_greedy: also run the first-fit greedy heuristic and keep
+            whichever plan uses fewer instances.  Neither heuristic
+            dominates: LP rounding wins under fragmentation, greedy under
+            low utilisation.  Off by default so results match the paper's
+            pure LP-relaxation methodology.
+        dust_threshold: a single-instance slot is "dust" when its load is
+            below this fraction of one instance's capacity.
+    """
+
+    solver: str = "rounding"
+    min_class_rate_mbps: float = 1e-3
+    max_bb_nodes: int = 2000
+    consolidate: bool = True
+    dust_threshold: float = 0.6
+    capacity_headroom: float = 1.0
+    compare_greedy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("rounding", "exact"):
+            raise ValueError(f"unknown solver {self.solver!r}")
+
+
+class OptimizationEngine:
+    """Computes VNF placement plans from classes + available resources.
+
+    Args:
+        catalog: NF datasheets (capacities Cap_n, resource vectors R_n).
+        config: solver configuration.
+    """
+
+    def __init__(
+        self,
+        catalog: NFTypeCatalog = DEFAULT_CATALOG,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        classes: Sequence[TrafficClass],
+        available_cores: Mapping[str, int],
+        available_memory_gb: Optional[Mapping[str, float]] = None,
+    ) -> PlacementPlan:
+        """Solve the placement problem for ``classes``.
+
+        Args:
+            classes: traffic classes (path, chain, rate).
+            available_cores: A_v (core dimension) — free cores per switch
+                with an APPLE host; switches absent cannot host instances.
+            available_memory_gb: optional second dimension of A_v; when
+                given, Eq. 6 is enforced per resource type (R_n is the
+                (cores, memory) vector of each NF).
+
+        Raises:
+            PlacementError: a class's path has no APPLE host, or the model
+                is infeasible (insufficient capacity anywhere).
+        """
+        started = time.perf_counter()
+        classes = [self._clamped(c) for c in classes]
+        self._check_paths(classes, available_cores)
+
+        model = Model("apple-placement")
+        # d variables, created lazily only at host positions -------------
+        d_vars: Dict[Tuple[str, int, int], object] = {}
+        # load_terms[(v, n)] collects (T_h, d_var) for capacity constraints
+        load_terms: Dict[Tuple[str, str], List[Tuple[float, object]]] = {}
+
+        for cls in classes:
+            host_positions = [
+                i for i, sw in enumerate(cls.path) if available_cores.get(sw, 0) > 0
+            ]
+            for j, nf in enumerate(cls.chain):
+                for i in host_positions:
+                    var = model.add_var(f"d[{cls.class_id},{i},{j}]", lb=0.0, ub=1.0)
+                    d_vars[(cls.class_id, i, j)] = var
+                    key = (cls.path[i], nf)
+                    load_terms.setdefault(key, []).append((cls.rate_mbps, var))
+
+            # Eq. 4: every chain step processes 100% of the class.
+            for j in range(cls.chain_length):
+                step_vars = [d_vars[(cls.class_id, i, j)] for i in host_positions]
+                model.add_constraint(
+                    LinExpr.total(step_vars).eq(1.0),
+                    name=f"complete[{cls.class_id},{j}]",
+                )
+
+            # Eq. 3 (with σ substituted): cumulative of step j-1 dominates
+            # cumulative of step j at every prefix of the path.
+            for j in range(1, cls.chain_length):
+                for stop in range(len(host_positions) - 1):
+                    prefix = host_positions[: stop + 1]
+                    expr = LinExpr.total(
+                        [(1.0, d_vars[(cls.class_id, i, j - 1)]) for i in prefix]
+                        + [(-1.0, d_vars[(cls.class_id, i, j)]) for i in prefix]
+                    )
+                    model.add_constraint(
+                        expr >= 0.0, name=f"order[{cls.class_id},{j},{stop}]"
+                    )
+
+        # q variables for used (switch, NF) pairs -------------------------
+        q_vars: Dict[Tuple[str, str], object] = {}
+        for (switch, nf) in sorted(load_terms):
+            q_vars[(switch, nf)] = model.add_var(
+                f"q[{switch},{nf}]", lb=0.0, integer=True
+            )
+
+        # Eq. 5: capacity.
+        for (switch, nf), terms in sorted(load_terms.items()):
+            cap = self._cap(nf)
+            expr = LinExpr.total(terms) - cap * q_vars[(switch, nf)]
+            model.add_constraint(expr <= 0.0, name=f"cap[{switch},{nf}]")
+
+        # Eq. 6: per-switch resources.
+        by_switch: Dict[str, List[Tuple[float, object]]] = {}
+        for (switch, nf), q in q_vars.items():
+            by_switch.setdefault(switch, []).append(
+                (float(self.catalog.get(nf).cores), q)
+            )
+        resource_rows: Dict[str, int] = {}
+        for switch, terms in sorted(by_switch.items()):
+            model.add_constraint(
+                LinExpr.total(terms) <= float(available_cores.get(switch, 0)),
+                name=f"res[{switch}]",
+            )
+            resource_rows[switch] = model.num_constraints - 1
+
+        # Eq. 6, memory dimension (when modelled): Σ mem_n · q ≤ M_v.
+        if available_memory_gb is not None:
+            mem_by_switch: Dict[str, List[Tuple[float, object]]] = {}
+            for (switch, nf), q in q_vars.items():
+                mem_by_switch.setdefault(switch, []).append(
+                    (float(self.catalog.get(nf).memory_gb), q)
+                )
+            for switch, terms in sorted(mem_by_switch.items()):
+                model.add_constraint(
+                    LinExpr.total(terms)
+                    <= float(available_memory_gb.get(switch, 0.0)),
+                    name=f"mem[{switch}]",
+                )
+
+        # Eq. 1: minimise total instance count.
+        model.minimize(LinExpr.total(list(q_vars.values())))
+
+        # Solve ------------------------------------------------------------
+        try:
+            if self.config.solver == "exact":
+                bb = solve_branch_bound(model, max_nodes=self.config.max_bb_nodes)
+                if bb.solution is None:
+                    raise PlacementError("exact solver found no feasible placement")
+                solution, objective, lp_bound = bb.solution, bb.objective, bb.objective
+                quantities = {
+                    key: int(round(solution[q.index]))
+                    for key, q in q_vars.items()
+                    if round(solution[q.index]) > 0
+                }
+            else:
+                solution, quantities, objective, lp_bound = self._solve_ceiling(
+                    model,
+                    q_vars,
+                    load_terms,
+                    available_cores,
+                    resource_rows,
+                    available_memory_gb,
+                )
+        except SolverError as exc:
+            raise PlacementError(f"placement infeasible: {exc}") from exc
+        distribution = self._extract_distribution(classes, d_vars, solution)
+        if (
+            self.config.compare_greedy
+            and self.config.solver == "rounding"
+            and available_memory_gb is None
+        ):
+            alt = self._try_greedy(classes, available_cores)
+            if alt is not None and alt[0] < sum(quantities.values()):
+                quantities, distribution = alt[1], alt[2]
+                objective = float(alt[0])
+        if self.config.consolidate:
+            # Cascade: evacuating one slot frees spare that may unlock the
+            # next; repeat until a fixed point (bounded by slot count).
+            for _ in range(4):
+                before = sum(quantities.values())
+                self._consolidate_dust(classes, distribution, quantities)
+                if sum(quantities.values()) == before:
+                    break
+            objective = float(sum(quantities.values()))
+        return PlacementPlan(
+            quantities=quantities,
+            distribution=distribution,
+            classes=list(classes),
+            catalog=self.catalog,
+            objective=float(objective),
+            lp_bound=float(lp_bound),
+            solve_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_ceiling(
+        self,
+        model: Model,
+        q_vars: Dict[Tuple[str, str], object],
+        load_terms: Dict[Tuple[str, str], List[Tuple[float, object]]],
+        available_cores: Mapping[str, int],
+        resource_rows: Dict[str, int],
+        available_memory_gb: Optional[Mapping[str, float]] = None,
+    ):
+        """LP relaxation + ceiling rounding with budget-tightening repair.
+
+        One LP solve gives the spatial distribution d; the integer counts
+        are then q_n^v = ceil(L_vn / Cap_n) from the *actual* loads L_vn the
+        LP assigned (tighter than ceiling the fractional q).  Because the
+        LP enforces L_vn ≤ Cap_n · q_lp, the d values remain feasible under
+        these counts; only the per-switch core budget (Eq. 6) can be broken
+        by the round-up.  When a switch overshoots, its budget in the LP is
+        tightened by the overshoot and the LP re-solved — this converges in
+        a couple of iterations in practice.  If repair fails, fall back to
+        generic iterative rounding.
+        """
+        import math
+
+        import numpy as np
+
+        compiled = model.compile()
+        budgets = {
+            sw: float(available_cores.get(sw, 0)) for sw in resource_rows
+        }
+        banned_slots: set = set()  # slots whose d vars are forced to zero
+        prev_violations: Dict[str, int] = {}
+        lp_bound: Optional[float] = None
+        for _ in range(8):
+            if all(
+                budgets[sw] == float(available_cores.get(sw, 0))
+                for sw in resource_rows
+            ):
+                b_ub = None
+            else:
+                b_ub = compiled.b_ub.copy()
+                for sw, ci in resource_rows.items():
+                    b_ub[compiled.ub_row_of[ci]] = budgets[sw]
+            extra_ub = None
+            if banned_slots:
+                extra_ub = np.full(model.num_variables, np.nan)
+                for slot in banned_slots:
+                    for _t, var in load_terms.get(slot, []):
+                        extra_ub[var.index] = 0.0
+            lp = solve_lp(
+                model, compiled, b_ub_override=b_ub, extra_upper_bounds=extra_ub
+            )
+            if lp_bound is None:
+                lp_bound = lp.objective
+
+            quantities: Dict[Tuple[str, str], int] = {}
+            cores_by_switch: Dict[str, int] = {}
+            memory_by_switch: Dict[str, float] = {}
+            for key, terms in load_terms.items():
+                load = sum(t * lp.solution[var.index] for t, var in terms)
+                if load <= 1e-12:
+                    continue
+                nf = self.catalog.get(key[1])
+                count = int(
+                    math.ceil(load / self._cap(key[1]) - 1e-9)
+                )
+                count = max(count, 1)
+                quantities[key] = count
+                cores_by_switch[key[0]] = (
+                    cores_by_switch.get(key[0], 0) + nf.cores * count
+                )
+                memory_by_switch[key[0]] = (
+                    memory_by_switch.get(key[0], 0.0) + nf.memory_gb * count
+                )
+
+            violations = {
+                sw: cores - available_cores.get(sw, 0)
+                for sw, cores in cores_by_switch.items()
+                if cores > available_cores.get(sw, 0)
+            }
+            if available_memory_gb is not None and not violations:
+                # Memory overshoot cannot be repaired by tightening core
+                # budgets; defer to the generic rounding fallback.
+                memory_broken = any(
+                    mem > available_memory_gb.get(sw, 0.0) + 1e-9
+                    for sw, mem in memory_by_switch.items()
+                )
+                if memory_broken:
+                    break
+            if not violations:
+                solution = lp.solution.copy()
+                for key, q in q_vars.items():
+                    solution[q.index] = float(quantities.get(key, 0))
+                objective = float(sum(quantities.values()))
+                return solution, quantities, objective, lp_bound
+            for sw, overshoot in violations.items():
+                if prev_violations.get(sw, 0) == overshoot:
+                    # Budget tightening had no effect: the overshoot comes
+                    # from dust slots whose fractional core use is ~0.
+                    # Evacuate the lightest slot at this switch instead.
+                    slots_here = sorted(
+                        (
+                            (load, key)
+                            for key, load in (
+                                (k, sum(t * lp.solution[v.index] for t, v in terms))
+                                for k, terms in load_terms.items()
+                                if k[0] == sw and k not in banned_slots
+                            )
+                            if load > 1e-12
+                        )
+                    )
+                    if slots_here:
+                        banned_slots.add(slots_here[0][1])
+                budgets[sw] = max(0.0, budgets[sw] - float(overshoot))
+            prev_violations = dict(violations)
+
+        res = solve_with_rounding(model)
+        quantities = {
+            key: int(round(res.solution[q.index]))
+            for key, q in q_vars.items()
+            if round(res.solution[q.index]) > 0
+        }
+        return res.solution, quantities, res.objective, res.lp_objective
+
+    def _consolidate_dust(
+        self,
+        classes: Sequence[TrafficClass],
+        distribution: Dict[Tuple[str, int, int], float],
+        quantities: Dict[Tuple[str, str], int],
+    ) -> None:
+        """Evacuate lightly loaded instances into other instances' spare.
+
+        LP degeneracy spreads small portions across many slots; after
+        ceiling those slivers each pin a whole instance.  This pass takes
+        every single-instance slot whose load is below the dust threshold
+        and tries to move *all* of its portions onto other slots of the
+        same NF on each class's path, checking spare capacity and the
+        ordering constraint (Eq. 3) before committing.  Mutates
+        ``distribution`` and ``quantities`` in place.
+        """
+        class_by_id = {c.class_id: c for c in classes}
+        loads: Dict[Tuple[str, str], float] = {}
+        portions: Dict[Tuple[str, str], List[Tuple[str, int, int]]] = {}
+        for (cid, i, j), frac in distribution.items():
+            cls = class_by_id[cid]
+            slot = (cls.path[i], cls.chain[j])
+            loads[slot] = loads.get(slot, 0.0) + frac * cls.rate_mbps
+            portions.setdefault(slot, []).append((cid, i, j))
+
+        def spare(slot: Tuple[str, str]) -> float:
+            return self._cap(slot[1]) * quantities.get(slot, 0) - loads.get(slot, 0.0)
+
+        dust = sorted(
+            (
+                slot
+                for slot, q in quantities.items()
+                if q == 1
+                and loads.get(slot, 0.0)
+                < self.config.dust_threshold * self._cap(slot[1])
+            ),
+            key=lambda s: loads.get(s, 0.0),
+        )
+        for slot in dust:
+            moves: List[Tuple[Tuple[str, int, int], Tuple[str, int, int]]] = []
+            pending: Dict[Tuple[str, str], float] = {}
+            ok = True
+            for (cid, i, j) in portions.get(slot, []):
+                cls = class_by_id[cid]
+                frac = distribution.get((cid, i, j), 0.0)
+                if frac <= 0:
+                    continue
+                mass = frac * cls.rate_mbps
+                target = self._find_target(
+                    cls, i, j, slot, mass, quantities, spare, pending, distribution
+                )
+                if target is None:
+                    ok = False
+                    break
+                moves.append(((cid, i, j), (cid, target, j)))
+                tslot = (cls.path[target], cls.chain[j])
+                pending[tslot] = pending.get(tslot, 0.0) + mass
+            if not ok or not moves:
+                continue
+            # Commit: shift fractions, update loads, drop the instance.
+            for (cid, i, j), (_, ti, _) in moves:
+                cls = class_by_id[cid]
+                frac = distribution.pop((cid, i, j))
+                distribution[(cid, ti, j)] = (
+                    distribution.get((cid, ti, j), 0.0) + frac
+                )
+                tslot = (cls.path[ti], cls.chain[j])
+                loads[tslot] = loads.get(tslot, 0.0) + frac * cls.rate_mbps
+                portions.setdefault(tslot, []).append((cid, ti, j))
+            loads.pop(slot, None)
+            portions.pop(slot, None)
+            del quantities[slot]
+
+    def _find_target(
+        self,
+        cls: TrafficClass,
+        i: int,
+        j: int,
+        slot: Tuple[str, str],
+        mass: float,
+        quantities: Dict[Tuple[str, str], int],
+        spare,
+        pending: Dict[Tuple[str, str], float],
+        distribution: Dict[Tuple[str, int, int], float],
+    ) -> Optional[int]:
+        """A path position that can absorb (cls, step j)'s portion at ``i``.
+
+        The candidate must host instances of the same NF with enough spare
+        capacity (accounting for moves staged in ``pending``) and moving
+        the portion there must keep Eq. 3's ordering valid for the class.
+        """
+        nf = cls.chain[j]
+        for ti in range(cls.path_length):
+            if ti == i:
+                continue
+            tslot = (cls.path[ti], nf)
+            if tslot == slot or quantities.get(tslot, 0) <= 0:
+                continue
+            if spare(tslot) - pending.get(tslot, 0.0) < mass - 1e-9:
+                continue
+            if self._order_ok_after_move(cls, distribution, i, ti, j):
+                return ti
+        return None
+
+    @staticmethod
+    def _order_ok_after_move(
+        cls: TrafficClass,
+        distribution: Dict[Tuple[str, int, int], float],
+        i: int,
+        ti: int,
+        j: int,
+        tol: float = 1e-9,
+    ) -> bool:
+        """Would moving d[cls, i, j] to position ti keep Eq. 3 valid?"""
+        frac = distribution.get((cls.class_id, i, j), 0.0)
+
+        def portion(jj: int, ii: int) -> float:
+            v = distribution.get((cls.class_id, ii, jj), 0.0)
+            if jj == j:
+                if ii == i:
+                    v = 0.0
+                if ii == ti:
+                    v += frac
+            return v
+
+        for jj in (j, j + 1):
+            if jj < 1 or jj >= cls.chain_length:
+                continue
+            cum_prev = cum_cur = 0.0
+            for ii in range(cls.path_length):
+                cum_prev += portion(jj - 1, ii)
+                cum_cur += portion(jj, ii)
+                if cum_cur > cum_prev + tol:
+                    return False
+        return True
+
+    def _try_greedy(self, classes, available_cores):
+        """Run the greedy heuristic; returns (objective, q, d) or None."""
+        from repro.core.greedy import greedy_placement
+
+        try:
+            plan = greedy_placement(
+                classes,
+                available_cores,
+                self.catalog,
+                capacity_headroom=self.config.capacity_headroom,
+            )
+        except PlacementError:
+            return None
+        return plan.total_instances(), dict(plan.quantities), dict(plan.distribution)
+
+    def _cap(self, nf_name: str) -> float:
+        """Plannable capacity of one instance (headroom-derated Cap_n)."""
+        return self.catalog.get(nf_name).capacity_mbps * self.config.capacity_headroom
+
+    def _clamped(self, cls: TrafficClass) -> TrafficClass:
+        floor = self.config.min_class_rate_mbps
+        if cls.rate_mbps < floor:
+            return cls.with_rate(floor)
+        return cls
+
+    @staticmethod
+    def _check_paths(
+        classes: Sequence[TrafficClass], available_cores: Mapping[str, int]
+    ) -> None:
+        seen = set()
+        for cls in classes:
+            if cls.class_id in seen:
+                raise PlacementError(f"duplicate class id {cls.class_id!r}")
+            seen.add(cls.class_id)
+            if not any(available_cores.get(sw, 0) > 0 for sw in cls.path):
+                raise PlacementError(
+                    f"class {cls.class_id!r}: no APPLE host on its path {cls.path}"
+                )
+
+    @staticmethod
+    def _extract_distribution(
+        classes: Sequence[TrafficClass],
+        d_vars: Dict[Tuple[str, int, int], object],
+        solution,
+        eps: float = 1e-9,
+    ) -> Dict[Tuple[str, int, int], float]:
+        """Read d values, drop numeric dust, renormalise each chain step."""
+        raw: Dict[Tuple[str, int, int], float] = {}
+        for key, var in d_vars.items():
+            v = float(solution[var.index])
+            if v > eps:
+                raw[key] = v
+        for cls in classes:
+            for j in range(cls.chain_length):
+                keys = [
+                    (cls.class_id, i, j)
+                    for i in range(cls.path_length)
+                    if (cls.class_id, i, j) in raw
+                ]
+                total = sum(raw[k] for k in keys)
+                if total > 0:
+                    for k in keys:
+                        raw[k] /= total
+        return raw

@@ -1,0 +1,97 @@
+"""Concrete prefix realisation of sub-class classification (Sec. V-A).
+
+The tagging scheme matches sub-classes by hash range; real hardware
+without programmable hashing realises each range as source-prefix
+wildcards inside the class's address block (the ``<10.1.1.128/25>``
+method).  This module compiles a sub-class plan plus a class → prefix map
+into the exact CIDR rules an ingress switch would hold, and reports the
+TCAM cost of that realisation — the concrete counterpart of the analytic
+accounting in :mod:`repro.core.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.classify.split import fraction_to_prefixes
+from repro.core.subclasses import SubclassPlan
+
+
+@dataclass(frozen=True)
+class PrefixRule:
+    """One ingress wildcard rule: prefix → sub-class."""
+
+    class_id: str
+    sub_id: int
+    prefix: str
+
+
+def compile_prefix_rules(
+    subclass_plan: SubclassPlan,
+    class_prefixes: Mapping[str, str],
+) -> Dict[str, List[PrefixRule]]:
+    """CIDR rules per class realising every sub-class's hash range.
+
+    Args:
+        class_prefixes: the wildcard address block of each class (its hash
+            domain under the prefix method).
+
+    Raises:
+        KeyError: a class in the plan has no prefix assigned.
+    """
+    out: Dict[str, List[PrefixRule]] = {}
+    for class_id, subs in subclass_plan.by_class.items():
+        try:
+            block = class_prefixes[class_id]
+        except KeyError:
+            raise KeyError(
+                f"class {class_id!r} has no address block for the prefix "
+                "realisation"
+            ) from None
+        rules: List[PrefixRule] = []
+        for sub in subs:
+            lo, hi = sub.hash_range
+            if hi <= lo:
+                continue
+            for prefix in fraction_to_prefixes(block, lo, hi):
+                rules.append(PrefixRule(class_id, sub.sub_id, prefix))
+        out[class_id] = rules
+    return out
+
+
+def prefix_rule_counts(
+    subclass_plan: SubclassPlan,
+    class_prefixes: Mapping[str, str],
+) -> Tuple[int, int]:
+    """(total sub-classes, total prefix rules) — the inflation pair.
+
+    With consistent hashing, one rule per sub-class suffices; the prefix
+    method needs ``total rules ≥ total sub-classes``, with equality only
+    for power-of-two-aligned splits.
+    """
+    compiled = compile_prefix_rules(subclass_plan, class_prefixes)
+    rules = sum(len(v) for v in compiled.values())
+    subclasses = subclass_plan.total_subclasses()
+    return subclasses, rules
+
+
+def assign_class_blocks(
+    subclass_plan: SubclassPlan, base_octet: int = 10
+) -> Dict[str, str]:
+    """Synthesise disjoint /24 blocks for every class (test/demo helper).
+
+    Real deployments take blocks from operator policy; experiments just
+    need *some* consistent assignment.
+
+    Raises:
+        ValueError: more classes than /24 blocks under the base octet.
+    """
+    blocks: Dict[str, str] = {}
+    class_ids = sorted(subclass_plan.by_class)
+    if len(class_ids) > 256 * 256:
+        raise ValueError("more classes than available /24 blocks")
+    for k, class_id in enumerate(class_ids):
+        second, third = divmod(k, 256)
+        blocks[class_id] = f"{base_octet}.{second}.{third}.0/24"
+    return blocks

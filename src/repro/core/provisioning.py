@@ -1,0 +1,157 @@
+"""Orchestrated deployment: realise a plan through the cloud substrate.
+
+The controller's plain :meth:`~repro.core.controller.AppleController.deploy`
+materialises instances synchronously, which is right for pure-algorithm
+studies.  This module follows the paper's actual control flow (Fig. 1 +
+Fig. 5) instead: the Optimization Engine's plan is handed to the Resource
+Orchestrator, which boots each VM through the OpenStack/OpenDaylight
+facades (4.2 s slow path, 30 ms reconfigure fast path); forwarding rules
+are only installed once every instance of a class's sub-classes is running
+— the "wait for the VM" lesson of Sec. VIII-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cloud.orchestrator import ResourceOrchestrator
+from repro.core.placement import PlacementPlan
+from repro.core.rulegen import GeneratedRules, RuleGenerator
+from repro.core.subclasses import assign_subclasses, SubclassPlan
+from repro.dataplane.network import DataPlaneNetwork
+from repro.sim.kernel import Simulator
+from repro.vnf.instance import VNFInstance
+
+
+@dataclass
+class ProvisioningResult:
+    """Outcome of an orchestrated rollout."""
+
+    network: DataPlaneNetwork
+    subclass_plan: SubclassPlan
+    rules: GeneratedRules
+    instances: Dict[str, VNFInstance]
+    started_at: float
+    instances_ready_at: Optional[float] = None
+    rules_installed_at: Optional[float] = None
+
+    @property
+    def rollout_seconds(self) -> Optional[float]:
+        """Wall time from request to rules installed (None while pending)."""
+        if self.rules_installed_at is None:
+            return None
+        return self.rules_installed_at - self.started_at
+
+    @property
+    def complete(self) -> bool:
+        return self.rules_installed_at is not None
+
+
+class OrchestatedProvisioner:
+    """Rolls a placement plan out through the Resource Orchestrator.
+
+    Args:
+        sim: shared simulator (clouds and rollouts share the clock).
+        orchestrator: the cloud substrate managing APPLE hosts.
+        rule_generator: compiles the plan's rules.
+        use_fast_path: launch ClickOS-capable NFs by reconfiguring spare
+            VMs when available (the Sec. VIII-D optimisation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        orchestrator: ResourceOrchestrator,
+        rule_generator: RuleGenerator,
+        use_fast_path: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.orchestrator = orchestrator
+        self.rule_generator = rule_generator
+        self.use_fast_path = use_fast_path
+
+    # ------------------------------------------------------------------
+    def provision(
+        self,
+        plan: PlacementPlan,
+        on_complete: Optional[Callable[[ProvisioningResult], None]] = None,
+    ) -> ProvisioningResult:
+        """Start the rollout; returns immediately with a pending result.
+
+        Sequence per Fig. 5: launch every instance through the cloud
+        substrate; when the last one reports running, generate rules, push
+        them via OpenDaylight (70 ms), and wire the data plane.  Packets
+        sent before :attr:`ProvisioningResult.complete` would blackhole —
+        exactly the Fig. 7 failure mode the sequencing avoids.
+        """
+        subclass_plan = assign_subclasses(plan)
+        rules = self.rule_generator.generate(plan.classes, subclass_plan)
+        network = DataPlaneNetwork(self.orchestrator.topo)
+        result = ProvisioningResult(
+            network=network,
+            subclass_plan=subclass_plan,
+            rules=rules,
+            instances={},
+            started_at=self.sim.now,
+        )
+
+        refs = plan.instance_refs()
+        pending = {"count": len(refs)}
+        catalog = self.rule_generator.catalog
+
+        def one_ready(ref_key: str, instance: VNFInstance) -> None:
+            result.instances[ref_key] = instance
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                result.instances_ready_at = self.sim.now
+                install_rules()
+
+        def install_rules() -> None:
+            def installed() -> None:
+                # Wire the data plane only now: rules follow running VMs.
+                self.rule_generator.install(
+                    rules,
+                    network,
+                    plan.classes,
+                    sim=self.sim,
+                    instances=result.instances,
+                )
+                result.rules_installed_at = self.sim.now
+                if on_complete is not None:
+                    on_complete(result)
+
+            # Push the concrete flow-mods through the ODL REST facade,
+            # exactly what Steps 10-11 of Fig. 5 would send.
+            from repro.dataplane.flowmod import (
+                compile_switch_rules,
+                compile_vswitch_rules,
+            )
+
+            flow_mods = [
+                fm
+                for mods in compile_switch_rules(rules).values()
+                for fm in mods
+            ] + [
+                fm
+                for mods in compile_vswitch_rules(rules).values()
+                for fm in mods
+            ]
+            self.orchestrator.odl.install_rules(flow_mods, on_installed=installed)
+
+        if not refs:
+            result.instances_ready_at = self.sim.now
+            install_rules()
+            return result
+
+        for ref in refs:
+            nf_type = catalog.get(ref.nf)
+            self.orchestrator.launch_instance(
+                nf_type,
+                ref.switch,
+                on_ready=(
+                    lambda inst, key=ref.key: one_ready(key, inst)
+                ),
+                fast=self.use_fast_path,
+            )
+        return result

@@ -1,0 +1,41 @@
+"""SDN data plane: TCAM pipelines, tagging, switches, vSwitches.
+
+Implements Sec. V-B's flow-tagging scheme end to end: the two tag fields
+(host ID and sub-class ID) carried in unused header bits, the physical
+switch pipeline of Table III / Fig. 2, the vSwitch
+``<IncomePort, class, sub-class>`` pipeline inside APPLE hosts, and a
+packet walker that executes installed rules so tests can verify policy
+enforcement and interference freedom packet by packet.
+"""
+
+from repro.dataplane.packet import FIN, Packet
+from repro.dataplane.tcam import Action, ActionKind, TcamEntry, TcamTable
+from repro.dataplane.tagging import TagAllocator, TagFieldSpec, TAG_FIELDS
+from repro.dataplane.switch import PhysicalSwitch, SwitchRuleSet
+from repro.dataplane.vswitch import VSwitch, VSwitchRule
+from repro.dataplane.flowhash import flow_hash, suffix_hash
+from repro.dataplane.flowmod import compile_switch_rules, compile_vswitch_rules, FlowMod
+from repro.dataplane.network import DataPlaneNetwork, DeliveryRecord
+
+__all__ = [
+    "Packet",
+    "FIN",
+    "Action",
+    "ActionKind",
+    "TcamEntry",
+    "TcamTable",
+    "TagAllocator",
+    "TagFieldSpec",
+    "TAG_FIELDS",
+    "PhysicalSwitch",
+    "SwitchRuleSet",
+    "VSwitch",
+    "VSwitchRule",
+    "DataPlaneNetwork",
+    "DeliveryRecord",
+    "flow_hash",
+    "suffix_hash",
+    "FlowMod",
+    "compile_switch_rules",
+    "compile_vswitch_rules",
+]

@@ -1,0 +1,158 @@
+"""The assembled data plane: walk packets through switches, hosts and VNFs.
+
+:class:`DataPlaneNetwork` holds one :class:`PhysicalSwitch` per topology
+node and one :class:`VSwitch` per APPLE host, executes installed rules on
+injected packets, and records delivery outcomes.  Crucially the walker
+*always* forwards along the class's original routing path — it has no other
+forwarding state — so any policy-enforcement behaviour observed emerges
+purely from the tag rules, and interference freedom is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import PhysicalSwitch, SwitchDecision
+from repro.dataplane.vswitch import VSwitch
+from repro.topology.graph import Topology
+
+
+@dataclass
+class DeliveryRecord:
+    """Outcome of one injected packet."""
+
+    packet: Packet
+    delivered: bool
+    dropped_at: Optional[str] = None  # switch of the dropping vSwitch/instance
+
+    @property
+    def policy_satisfied(self) -> bool:
+        """Delivered with its host tag at FIN (chain complete)."""
+        return self.delivered and self.packet.finished_processing
+
+
+class DataPlaneNetwork:
+    """Switches + vSwitches wired to a topology, with a packet walker.
+
+    Args:
+        topo: the network topology; a vSwitch is created for every switch
+            that has an APPLE host in ``topo.hosts``.
+    """
+
+    MAX_HOPS = 1024  # loop guard; paths are far shorter
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self.switches: Dict[str, PhysicalSwitch] = {
+            s: PhysicalSwitch(s, has_host=s in topo.hosts) for s in topo.switches
+        }
+        self.vswitches: Dict[str, VSwitch] = {
+            s: VSwitch(s) for s in topo.hosts
+        }
+        self.class_paths: Dict[str, Tuple[str, ...]] = {}
+        self.records: List[DeliveryRecord] = []
+
+    # ------------------------------------------------------------------
+    def register_class_path(self, class_id: str, path: Tuple[str, ...]) -> None:
+        """Declare the routing path of a class (set by other applications)."""
+        if len(path) < 1:
+            raise ValueError("path must contain at least one switch")
+        for s in path:
+            if s not in self.switches:
+                raise KeyError(f"path references unknown switch {s!r}")
+        self.class_paths[class_id] = tuple(path)
+
+    def vswitch_at(self, switch: str) -> VSwitch:
+        try:
+            return self.vswitches[switch]
+        except KeyError:
+            raise KeyError(f"no APPLE host/vSwitch at switch {switch!r}") from None
+
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, now: float = 0.0) -> DeliveryRecord:
+        """Walk a packet from its ingress to its egress switch.
+
+        The walk follows the registered class path hop by hop.  At each
+        switch the Table III pipeline runs; a TO_HOST decision hands the
+        packet to the local vSwitch (which may drop it on overload), after
+        which forwarding resumes along the path.
+        """
+        path = self.class_paths.get(packet.class_id)
+        if path is None:
+            raise KeyError(f"class {packet.class_id!r} has no registered path")
+        if path[0] != packet.src or path[-1] != packet.dst:
+            raise ValueError(
+                f"packet {packet.packet_id} src/dst disagree with class path"
+            )
+
+        hops = 0
+        for i, sw_name in enumerate(path):
+            if hops > self.MAX_HOPS:
+                raise RuntimeError("hop limit exceeded (loop?)")
+            hops += 1
+            switch = self.switches[sw_name]
+            decision = switch.process(packet)
+            if decision is SwitchDecision.TO_HOST:
+                vsw = self.vswitch_at(sw_name)
+                out = vsw.process(packet, now)
+                if out is None:
+                    record = DeliveryRecord(packet, delivered=False, dropped_at=sw_name)
+                    self.records.append(record)
+                    return record
+                # Packet re-enters the switch from the host; if it is now
+                # tagged for this same switch again that is a rule bug.
+                if packet.host_tag == sw_name:
+                    raise RuntimeError(
+                        f"packet re-tagged for the host it just left ({sw_name})"
+                    )
+            elif decision is SwitchDecision.DROP:
+                record = DeliveryRecord(packet, delivered=False, dropped_at=sw_name)
+                self.records.append(record)
+                return record
+            # FORWARD: continue to the next switch on the path.
+
+        record = DeliveryRecord(packet, delivered=True)
+        self.records.append(record)
+        return record
+
+    def inject_from_host(self, packet: Packet, now: float = 0.0) -> DeliveryRecord:
+        """Walk a packet that originates at a production VM in an APPLE host.
+
+        Fig. 3's third scenario: the packet enters its source switch's
+        vSwitch untagged (from a production-VM port), is classified and
+        tagged there, then follows the normal walk along its class path.
+        """
+        path = self.class_paths.get(packet.class_id)
+        if path is None:
+            raise KeyError(f"class {packet.class_id!r} has no registered path")
+        vsw = self.vswitch_at(packet.src)
+        out = vsw.process_origin(packet, now)
+        if out is None:
+            record = DeliveryRecord(packet, delivered=False, dropped_at=packet.src)
+            self.records.append(record)
+            return record
+        return self.inject(packet, now=now)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def tcam_usage_by_switch(self) -> Dict[str, int]:
+        """Hardware TCAM slots consumed by APPLE rules, per switch."""
+        return {s: sw.tcam_usage() for s, sw in self.switches.items()}
+
+    def total_tcam_usage(self) -> int:
+        return sum(self.tcam_usage_by_switch().values())
+
+    def delivery_stats(self) -> Tuple[int, int, int]:
+        """(delivered, dropped, policy_violations) over recorded packets."""
+        delivered = sum(1 for r in self.records if r.delivered)
+        dropped = len(self.records) - delivered
+        violations = sum(
+            1 for r in self.records if r.delivered and not r.policy_satisfied
+        )
+        return delivered, dropped, violations
+
+    def reset_records(self) -> None:
+        self.records.clear()

@@ -1,0 +1,161 @@
+"""Physical SDN switches implementing the Table III pipeline.
+
+Upon packet reception (Fig. 2): if the host-ID tag names the APPLE host
+attached to this switch, forward into the host; if the tag field is empty,
+the packet just entered the network — classify it (tag a sub-class ID, and
+either divert it into the local host or tag the next host ID and pass it
+on); otherwise pass through to the next table, where the rules of other
+applications (routing, traffic engineering) forward it unchanged —
+interference freedom in action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.tcam import Action, ActionKind, TcamEntry, TcamTable
+
+# Table III priorities: host match above classification above pass-by.
+PRIORITY_HOST_MATCH = 300
+PRIORITY_CLASSIFICATION = 200
+PRIORITY_PASS_BY = 100
+
+
+class SwitchDecision(enum.Enum):
+    """What the pipeline decided to do with the packet."""
+
+    TO_HOST = "to-host"
+    FORWARD = "forward"
+    DROP = "drop"
+
+
+class PhysicalSwitch:
+    """One SDN switch with its APPLE TCAM table.
+
+    Args:
+        name: switch identifier (matches the topology node).
+        has_host: whether an APPLE host hangs off this switch.
+    """
+
+    def __init__(self, name: str, has_host: bool = True) -> None:
+        self.name = name
+        self.has_host = has_host
+        self.table = TcamTable(name=f"{name}/table0")
+        self.port_counters: Dict[str, int] = {}
+        self.packets_seen = 0
+
+    # ------------------------------------------------------------------
+    def install_pass_by(self) -> None:
+        """The lowest-priority catch-all sending packets to the next table."""
+        self.table.install(
+            TcamEntry(
+                priority=PRIORITY_PASS_BY,
+                action=Action(ActionKind.GOTO_NEXT_TABLE),
+                name=f"{self.name}/pass-by",
+            )
+        )
+
+    def install_host_match(self) -> None:
+        """Host-match rule: packets tagged for this switch's host divert in."""
+        if not self.has_host:
+            raise ValueError(f"switch {self.name!r} has no APPLE host")
+        self.table.install(
+            TcamEntry(
+                priority=PRIORITY_HOST_MATCH,
+                action=Action(ActionKind.FORWARD_TO_HOST),
+                host_tag_is=self.name,
+                name=f"{self.name}/host-match",
+            )
+        )
+
+    def install_classification(
+        self,
+        class_id: str,
+        hash_range: tuple,
+        subclass_id: int,
+        first_host: str,
+    ) -> None:
+        """Ingress classification for one sub-class (Table III rows 2–3).
+
+        If the first processing host is local, the entry tags the sub-class
+        and diverts the packet immediately; otherwise it also tags the next
+        host ID and passes the packet to the routing table.
+        """
+        if first_host == self.name:
+            action = Action(
+                ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST, subclass_id=subclass_id
+            )
+        else:
+            action = Action(
+                ActionKind.TAG_SUBCLASS_AND_HOST,
+                subclass_id=subclass_id,
+                next_host=first_host,
+            )
+        self.table.install(
+            TcamEntry(
+                priority=PRIORITY_CLASSIFICATION,
+                action=action,
+                host_tag_is="EMPTY",
+                class_id=class_id,
+                hash_range=hash_range,
+                name=f"{self.name}/classify/{class_id}#{subclass_id}",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet, count_port: Optional[str] = None) -> SwitchDecision:
+        """Run the packet through the pipeline; mutates tags in place."""
+        self.packets_seen += 1
+        if count_port is not None:
+            self.port_counters[count_port] = self.port_counters.get(count_port, 0) + 1
+        packet.visit("switch", self.name)
+        entry = self.table.lookup(packet)
+        if entry is None:
+            # No rules at all: behave as pass-by (other applications route).
+            return SwitchDecision.FORWARD
+        action = entry.action
+        if action.kind is ActionKind.FORWARD_TO_HOST:
+            return SwitchDecision.TO_HOST
+        if action.kind is ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST:
+            packet.subclass_tag = action.subclass_id
+            return SwitchDecision.TO_HOST
+        if action.kind is ActionKind.TAG_SUBCLASS_AND_HOST:
+            packet.subclass_tag = action.subclass_id
+            packet.host_tag = action.next_host
+            return SwitchDecision.FORWARD
+        if action.kind is ActionKind.GOTO_NEXT_TABLE:
+            return SwitchDecision.FORWARD
+        return SwitchDecision.DROP
+
+    def tcam_usage(self) -> int:
+        """Hardware TCAM slots consumed by APPLE rules at this switch."""
+        return self.table.entry_count()
+
+
+@dataclass
+class SwitchRuleSet:
+    """Declarative rules for one switch, installable in one shot.
+
+    Produced by the Rule Generator; applying it replaces the switch's APPLE
+    table contents (rule updates are atomic per switch in the prototype).
+    """
+
+    switch: str
+    host_match: bool = False
+    classifications: List[tuple] = field(default_factory=list)
+    # each: (class_id, hash_range, subclass_id, first_host)
+
+    def apply(self, switch: PhysicalSwitch) -> None:
+        if switch.name != self.switch:
+            raise ValueError(
+                f"rule set for {self.switch!r} applied to {switch.name!r}"
+            )
+        switch.table.clear()
+        if self.host_match:
+            switch.install_host_match()
+        for class_id, hash_range, subclass_id, first_host in self.classifications:
+            switch.install_classification(class_id, hash_range, subclass_id, first_host)
+        switch.install_pass_by()

@@ -1,0 +1,140 @@
+"""Tag-field allocation: host IDs and sub-class IDs in spare header bits.
+
+Sec. V-B: "The unused bits in the packet header can be used as the tag
+field, such as the 6-bit DS field and 12-bit VLAN ID (if VLANs are not
+used)."  Host IDs are network-global (one per APPLE host in use, plus the
+reserved FIN value); sub-class IDs "only have local meanings, thus [they]
+can be multiplexed by different classes" — the allocator only needs as many
+sub-class IDs as the *maximum* sub-class count of any single class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dataplane.packet import FIN
+
+
+@dataclass(frozen=True)
+class TagFieldSpec:
+    """A header field usable as a tag, and its capacity."""
+
+    name: str
+    bits: int
+
+    @property
+    def capacity(self) -> int:
+        return 1 << self.bits
+
+
+#: Candidate tag fields, smallest first (the allocator prefers the
+#: cheapest field that fits).
+TAG_FIELDS: List[TagFieldSpec] = [
+    TagFieldSpec("ds", 6),       # DiffServ field: 64 values
+    TagFieldSpec("vlan", 12),    # VLAN ID: 4096 values
+]
+
+
+class TagSpaceExhausted(RuntimeError):
+    """Raised when no candidate field can hold the required tag count."""
+
+
+class TagAllocator:
+    """Allocates host-ID and sub-class-ID tag values.
+
+    Args:
+        fields: candidate tag fields in preference order.
+    """
+
+    def __init__(self, fields: Optional[List[TagFieldSpec]] = None) -> None:
+        self.fields = fields if fields is not None else list(TAG_FIELDS)
+        self._host_ids: Dict[str, int] = {}
+        self._host_field: Optional[TagFieldSpec] = None
+        self._subclass_field: Optional[TagFieldSpec] = None
+        self._max_subclasses = 0
+        #: True when sub-class IDs are network-global (Sec. X, header-
+        #: modifying NFs) instead of multiplexed per class.
+        self.global_subclass_ids = False
+
+    # ------------------------------------------------------------------
+    def assign_host_ids(self, switches: List[str]) -> Dict[str, int]:
+        """Assign a tag value per APPLE host (keyed by its switch).
+
+        Value 0 is reserved for FIN.  Picks the smallest field that fits
+        ``len(switches) + 1`` values.
+
+        Raises:
+            TagSpaceExhausted: when even the largest field is too small.
+        """
+        needed = len(switches) + 1  # + FIN
+        self._host_field = self._pick_field(needed, "host-ID")
+        self._host_ids = {FIN: 0}
+        for i, s in enumerate(sorted(switches)):
+            self._host_ids[s] = i + 1
+        return dict(self._host_ids)
+
+    def reserve_subclass_ids(self, max_subclasses_per_class: int) -> TagFieldSpec:
+        """Size the sub-class field for the worst-case per-class split.
+
+        Sub-class IDs are multiplexed across classes, so the field must
+        only cover the largest split of any one class.
+        """
+        if max_subclasses_per_class < 1:
+            raise ValueError("need at least one sub-class per class")
+        return self._reserve(max_subclasses_per_class, global_ids=False)
+
+    def reserve_global_subclass_ids(self, total_subclasses: int) -> TagFieldSpec:
+        """Size the sub-class field with *network-global* IDs.
+
+        Sec. X: when NFs on a chain modify packet headers, "sub-class
+        classification [becomes] invalid" downstream — the class can no
+        longer be re-derived from the 5-tuple, so sub-class IDs cannot be
+        multiplexed across classes and every sub-class in the network
+        needs a distinct tag value.
+        """
+        if total_subclasses < 1:
+            raise ValueError("need at least one sub-class")
+        return self._reserve(total_subclasses, global_ids=True)
+
+    def _reserve(self, needed: int, global_ids: bool) -> TagFieldSpec:
+        remaining = [f for f in self.fields if f is not self._host_field]
+        if not remaining:
+            raise TagSpaceExhausted("no field left for sub-class IDs")
+        for f in remaining:
+            if f.capacity >= needed:
+                self._subclass_field = f
+                self._max_subclasses = needed
+                self.global_subclass_ids = global_ids
+                return f
+        kind = "global" if global_ids else "per-class"
+        raise TagSpaceExhausted(f"no field holds {needed} {kind} sub-class IDs")
+
+    # ------------------------------------------------------------------
+    def host_id(self, switch_or_fin: str) -> int:
+        """Tag value of a host's switch (or FIN)."""
+        try:
+            return self._host_ids[switch_or_fin]
+        except KeyError:
+            raise KeyError(f"no host ID assigned for {switch_or_fin!r}") from None
+
+    @property
+    def host_field(self) -> TagFieldSpec:
+        if self._host_field is None:
+            raise ValueError("assign_host_ids has not run")
+        return self._host_field
+
+    @property
+    def subclass_field(self) -> TagFieldSpec:
+        if self._subclass_field is None:
+            raise ValueError("reserve_subclass_ids has not run")
+        return self._subclass_field
+
+    def _pick_field(self, needed: int, purpose: str) -> TagFieldSpec:
+        for f in self.fields:
+            if f.capacity >= needed:
+                return f
+        raise TagSpaceExhausted(
+            f"no candidate field holds {needed} {purpose} values "
+            f"(largest is {max((f.capacity for f in self.fields), default=0)})"
+        )

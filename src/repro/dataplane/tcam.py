@@ -1,0 +1,139 @@
+"""TCAM tables: prioritised match/action entries with pipeline support.
+
+Models the expensive resource the tagging scheme conserves.  An entry
+matches on the two tag fields plus the (class, hash-range) classification;
+actions mirror Table III: forward to the APPLE host, tag sub-class / host
+IDs, or fall through to the next table where other applications' rules
+(routing, ACLs) live.
+
+Entry counts reported by :meth:`TcamTable.entry_count` use the *hardware*
+cost: a classification entry whose hash range needs k prefix rules counts
+as k TCAM entries (Sec. V-A's prefix method).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.classify.split import range_to_cidr_count
+from repro.dataplane.packet import Packet
+
+
+class ActionKind(enum.Enum):
+    """Action types appearing in Table III and the vSwitch pipeline."""
+
+    FORWARD_TO_HOST = "fwd-host"
+    TAG_SUBCLASS_AND_FORWARD_TO_HOST = "tag-subclass+fwd-host"
+    TAG_SUBCLASS_AND_HOST = "tag-subclass+tag-host"
+    GOTO_NEXT_TABLE = "goto-next"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A TCAM action with its tag parameters."""
+
+    kind: ActionKind
+    subclass_id: Optional[int] = None
+    next_host: Optional[str] = None  # host-ID tag value to write (may be FIN)
+
+
+@dataclass
+class TcamEntry:
+    """One prioritised TCAM entry.
+
+    Match dimensions (None = wildcard):
+        host_tag_is: require the host-ID tag to equal this value;
+            ``"EMPTY"`` matches an untagged packet.
+        class_id: require the packet's class.
+        hash_range: ``[lo, hi)`` sub-range of the class's hash domain (the
+            sub-class wildcard match); the hardware realisation needs
+            :attr:`hardware_entries` prefix rules.
+    """
+
+    priority: int
+    action: Action
+    host_tag_is: Optional[str] = None
+    class_id: Optional[str] = None
+    hash_range: Optional[Tuple[float, float]] = None
+    name: str = ""
+
+    HASH_BITS = 16  # resolution at which hash ranges map onto prefix rules
+
+    def matches(self, packet: Packet) -> bool:
+        if self.host_tag_is is not None:
+            tag = packet.host_tag if packet.host_tag is not None else "EMPTY"
+            if tag != self.host_tag_is:
+                return False
+        if self.class_id is not None and packet.class_id != self.class_id:
+            return False
+        if self.hash_range is not None:
+            lo, hi = self.hash_range
+            if not lo <= packet.flow_hash < hi:
+                return False
+        return True
+
+    @property
+    def hardware_entries(self) -> int:
+        """TCAM slots this logical entry occupies (prefix expansion)."""
+        if self.hash_range is None:
+            return 1
+        lo, hi = self.hash_range
+        size = 1 << self.HASH_BITS
+        start = int(round(lo * size))
+        stop = int(round(hi * size)) - 1
+        if stop < start:
+            return 1
+        return range_to_cidr_count(start, stop, bits=self.HASH_BITS)
+
+
+class TcamTable:
+    """A priority-ordered TCAM table."""
+
+    def __init__(self, name: str = "table0") -> None:
+        self.name = name
+        self._entries: List[TcamEntry] = []
+        self.lookup_count = 0
+        self.miss_count = 0
+
+    # ------------------------------------------------------------------
+    def install(self, entry: TcamEntry) -> None:
+        """Insert keeping priority order (higher priority matched first)."""
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def remove_where(self, predicate) -> int:
+        """Remove entries satisfying ``predicate``; returns count removed."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        return before - len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def lookup(self, packet: Packet) -> Optional[TcamEntry]:
+        """First (highest-priority) matching entry, or None on miss."""
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.matches(packet):
+                return entry
+        self.miss_count += 1
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def logical_entries(self) -> int:
+        """Number of logical rules installed."""
+        return len(self._entries)
+
+    def entry_count(self) -> int:
+        """Hardware TCAM slots consumed (prefix-expanded)."""
+        return sum(e.hardware_entries for e in self._entries)
+
+    def entries(self) -> List[TcamEntry]:
+        return list(self._entries)
+
+    def __repr__(self) -> str:
+        return f"TcamTable({self.name!r}, logical={self.logical_entries}, hw={self.entry_count()})"

@@ -1,0 +1,174 @@
+"""The vSwitch inside an APPLE host.
+
+Sec. V-B: "Forwarding rules are also needed in vSwitch embedded in APPLE
+hosts to direct packets to desired VNF instances.  The matching rule is
+based on three tuples, <IncomePort, class, sub-class>."  A packet may
+traverse several VNF instances within one host before being re-tagged with
+the next host ID (or FIN) and sent back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.packet import FIN, Packet
+from repro.vnf.instance import VNFInstance
+
+UPLINK = "uplink"  # the port facing the physical switch
+
+
+@dataclass(frozen=True)
+class VSwitchRule:
+    """One <in_port, class, sub-class> rule.
+
+    Attributes:
+        instance_ids: local VNF instances to traverse, in chain order.
+        exit_host_tag: host-ID tag written when the packet leaves
+            (the next processing host's switch, or FIN).
+    """
+
+    instance_ids: Tuple[str, ...]
+    exit_host_tag: str
+
+
+class VSwitch:
+    """Open vSwitch model inside one APPLE host.
+
+    Args:
+        switch: the physical switch this host hangs off.
+    """
+
+    def __init__(self, switch: str) -> None:
+        self.switch = switch
+        self._rules: Dict[Tuple[str, str, Optional[int]], VSwitchRule] = {}
+        self._instances: Dict[str, VNFInstance] = {}
+        # Classification for packets originating at production VMs inside
+        # this host (Fig. 3's ip3 -> ip4 scenario): the vSwitch tags them,
+        # since "the packets from the ports connect to production VMs are
+        # not tagged yet".  Entries: (class_id, hash_range, sub_id, first_host).
+        self._origin_rules: List[Tuple[str, Tuple[float, float], int, str]] = []
+        self.packets_in = 0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------
+    def register_instance(
+        self, instance: VNFInstance, alias: Optional[str] = None
+    ) -> None:
+        """Attach a VNF instance (a VM port) to this vSwitch.
+
+        Args:
+            alias: key the rules refer to the instance by; defaults to the
+                instance id.  Orchestrator-launched VMs carry their own ids
+                while rules use the plan's logical slot keys.
+        """
+        if instance.switch != self.switch:
+            raise ValueError(
+                f"instance {instance.instance_id!r} belongs to switch "
+                f"{instance.switch!r}, not {self.switch!r}"
+            )
+        self._instances[alias or instance.instance_id] = instance
+
+    def deregister_instance(self, instance_id: str) -> None:
+        self._instances.pop(instance_id, None)
+        # Rules referencing the instance become stale; the Rule Generator
+        # replaces them, but drop them defensively too.
+        self._rules = {
+            k: r for k, r in self._rules.items() if instance_id not in r.instance_ids
+        }
+
+    def install_rule(
+        self,
+        class_id: str,
+        subclass_id: Optional[int],
+        rule: VSwitchRule,
+        in_port: str = UPLINK,
+    ) -> None:
+        """Install/replace the rule for one (port, class, sub-class) key."""
+        for iid in rule.instance_ids:
+            if iid not in self._instances:
+                raise KeyError(
+                    f"vSwitch at {self.switch!r}: unknown instance {iid!r}"
+                )
+        self._rules[(in_port, class_id, subclass_id)] = rule
+
+    def clear_rules(self) -> None:
+        self._rules.clear()
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet, now: float, in_port: str = UPLINK) -> Optional[Packet]:
+        """Walk the packet through its local instance sequence.
+
+        Returns the packet (tags updated) or None if an overloaded instance
+        dropped it.
+
+        Raises:
+            KeyError: no rule for the packet's (port, class, sub-class) —
+                a rule-generation bug, surfaced loudly.
+        """
+        self.packets_in += 1
+        packet.visit("vswitch", f"ovs-{self.switch}")
+        key = (in_port, packet.class_id, packet.subclass_tag)
+        rule = self._rules.get(key)
+        if rule is None:
+            raise KeyError(
+                f"vSwitch at {self.switch!r}: no rule for {key!r} "
+                f"(installed: {sorted(self._rules)})"
+            )
+        for iid in rule.instance_ids:
+            instance = self._instances[iid]
+            if not instance.consume(packet.size_bytes, now):
+                self.packets_dropped += 1
+                return None
+            packet.visit("vnf", iid)
+        packet.host_tag = rule.exit_host_tag
+        return packet
+
+    def instances(self) -> List[VNFInstance]:
+        return list(self._instances.values())
+
+    # ------------------------------------------------------------------
+    # Host-originated traffic (Fig. 3, ip3 -> ip4)
+    # ------------------------------------------------------------------
+    def install_origin_rule(
+        self,
+        class_id: str,
+        hash_range: Tuple[float, float],
+        sub_id: int,
+        first_host: str,
+    ) -> None:
+        """Classification for packets born at a production VM in this host."""
+        self._origin_rules.append((class_id, hash_range, sub_id, first_host))
+
+    @property
+    def origin_rule_count(self) -> int:
+        return len(self._origin_rules)
+
+    def process_origin(self, packet: Packet, now: float) -> Optional[Packet]:
+        """Tag and dispatch a packet entering from a production-VM port.
+
+        The vSwitch performs the ingress classification the physical
+        switch would otherwise do: the sub-class ID is tagged, and the
+        packet is either processed by local instances immediately (when
+        the first processing host is this one) or tagged with the next
+        host ID and handed to the physical switch.
+
+        Raises:
+            KeyError: no origin classification matches the packet.
+        """
+        for class_id, (lo, hi), sub_id, first_host in self._origin_rules:
+            if packet.class_id == class_id and lo <= packet.flow_hash < hi:
+                packet.subclass_tag = sub_id
+                if first_host == self.switch:
+                    return self.process(packet, now)
+                packet.visit("vswitch", f"ovs-{self.switch}")
+                packet.host_tag = first_host
+                return packet
+        raise KeyError(
+            f"vSwitch at {self.switch!r}: no origin classification for "
+            f"class {packet.class_id!r}"
+        )

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage::
+
+    apple-experiments                 # everything, paper-scale where feasible
+    apple-experiments --quick         # smoke-scale versions
+    apple-experiments table5 fig10    # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12
+from repro.experiments import failure_sweep, packet_replay
+from repro.experiments import table1, table4, table5
+from repro.experiments.harness import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig5": fig5.run,
+    "packet_replay": packet_replay.run,
+    "failure_sweep": failure_sweep.run,
+    "table1": table1.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+}
+
+#: Experiments whose run() accepts a quick flag.
+_QUICKABLE = {
+    "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "packet_replay", "failure_sweep",
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="apple-experiments",
+        description="Regenerate the APPLE paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=sorted(EXPERIMENTS) + [[]],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-scale parameters"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the rendered results to FILE (markdown-friendly)",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or sorted(EXPERIMENTS)
+
+    sections = []
+    for name in names:
+        runner = EXPERIMENTS[name]
+        started = time.perf_counter()
+        kwargs = {"quick": True} if args.quick and name in _QUICKABLE else {}
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        rendered = result.format()
+        sections.append(rendered + f"\n   [{elapsed:.1f}s]")
+        print(rendered)
+        print(f"   [{elapsed:.1f}s]\n")
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            "# APPLE reproduction — experiment results\n\n```\n"
+            + "\n\n".join(sections)
+            + "\n```\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Fig. 5 / Sec. VIII micro-measurements: the VM-initiation pipeline.
+
+Reproduces the prototype's step-latency breakdown: why an end-to-end
+ClickOS boot through OpenStack takes ~4.2 s when the unikernel itself boots
+in 30 ms, and the micro-measurements APPLE's design decisions rest on
+(70 ms rule install, 30 ms reconfiguration).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.opendaylight import (
+    NETWORK_INFO_SECONDS,
+    NEUTRON_NOTIFY_SECONDS,
+    OVSDB_PORT_CREATE_SECONDS,
+    RULE_INSTALL_SECONDS,
+)
+from repro.cloud.openstack import NOVA_REQUEST_SECONDS
+from repro.cloud.orchestrator import ResourceOrchestrator
+from repro.experiments.harness import ExperimentResult
+from repro.sim.kernel import Simulator
+from repro.topology.graph import AppleHostSpec, Link, Topology
+from repro.vnf.clickos import CLICKOS_BOOT_SECONDS, CLICKOS_RECONFIGURE_SECONDS
+from repro.vnf.types import FIREWALL
+
+
+def run(boots: int = 5, quick: bool = False) -> ExperimentResult:
+    """Boot ClickOS VMs and decompose the measured pipeline latency."""
+    if quick:
+        boots = 2
+    sim = Simulator(seed=5)
+    topo = Topology(
+        "lab", ["s1", "s2"], [Link("s1", "s2")],
+        hosts={"s1": AppleHostSpec(cores=64)},
+    )
+    orch = ResourceOrchestrator(sim, topo, spare_clickos=1)
+    sim.run(until=0.5)
+
+    for _ in range(boots):
+        orch.launch_instance(FIREWALL, "s1")
+    sim.run(until=60.0)
+    timelines = orch.openstacks["s1"].timelines
+    net_prep = [
+        t.network_ready_at - t.requested_at for t in timelines if t.running_at
+    ]
+    rest = [
+        t.running_at - t.network_ready_at for t in timelines if t.running_at
+    ]
+    total = [t.total_seconds for t in timelines if t.running_at]
+
+    fast = orch.launch_instance(FIREWALL, "s1", fast=True)
+    sim.run(until=70.0)
+
+    rows: List[list] = [
+        ["Step 1 (Nova admission)", NOVA_REQUEST_SECONDS, "modelled"],
+        ["Steps 2-3 (Neutron -> ODL, OVSDB port)",
+         NEUTRON_NOTIFY_SECONDS + OVSDB_PORT_CREATE_SECONDS, "modelled"],
+        ["Step 5 (networking info)", NETWORK_INFO_SECONDS, "modelled"],
+        ["Steps 1-5 measured (networking orchestration)",
+         sum(net_prep) / len(net_prep), "dominates the boot"],
+        ["Steps 6-8 measured (libvirt + image + boot)",
+         sum(rest) / len(rest), ""],
+        ["raw ClickOS boot [28]", CLICKOS_BOOT_SECONDS, "30 ms"],
+        ["end-to-end boot (mean)", sum(total) / len(total),
+         "paper: 4.2 s mean"],
+        ["Step 9 ClickOS reconfigure", CLICKOS_RECONFIGURE_SECONDS,
+         "paper: 30 ms"],
+        ["Steps 10-11 rule install", RULE_INSTALL_SECONDS, "paper: 70 ms"],
+        ["fast path (reconfigure spare), measured", fast.latency or 0.0,
+         "what failover uses"],
+    ]
+    rows = [[name, round(float(v), 3), note] for name, v, note in rows]
+    return ExperimentResult(
+        experiment="Fig. 5",
+        description="VM-initiation pipeline latency breakdown",
+        paper_expectation=(
+            "Steps 1-5 (networking orchestration) dominate the 4.2 s boot; "
+            "reconfiguration (30 ms) and rule install (70 ms) are the fast "
+            "path"
+        ),
+        columns=["Pipeline element", "Seconds", "Note"],
+        rows=rows,
+    )

@@ -1,0 +1,81 @@
+"""Fig. 7: throughput collapse during failover while a ClickOS VM boots.
+
+Sec. VIII-B: forwarding rules are installed (~70 ms) *right before* the
+ClickOS VM is created through OpenStack, so the flow blackholes until the
+VM is up — approximating the boot time.  Measured: 3.9–4.6 s (mean 4.2 s),
+far above ClickOS's native 30 ms, because Steps 1–5 of networking
+orchestration dominate.
+
+Reproduced on the cloud substrate: 10 runs, each booting a fresh ClickOS
+VM through the OpenStack facade while a 10 Kpps UDP source keeps sending;
+packets sent between rule flip and VM readiness are lost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.opendaylight import RULE_INSTALL_SECONDS
+from repro.cloud.orchestrator import ResourceOrchestrator
+from repro.experiments.harness import ExperimentResult
+from repro.sim.kernel import Simulator
+from repro.sim.sources import CBRSource
+from repro.topology.graph import AppleHostSpec, Link, Topology
+from repro.vnf.types import FIREWALL
+
+
+def run(runs: int = 10, rate_kpps: float = 10.0, quick: bool = False) -> ExperimentResult:
+    """Measure the throughput gap across independent boots."""
+    if quick:
+        runs = 3
+    rows: List[list] = []
+    for k in range(runs):
+        sim = Simulator(seed=100 + k)
+        topo = Topology("one-host", ["s1", "s2"], [Link("s1", "s2")],
+                        hosts={"s1": AppleHostSpec(cores=64)})
+        orch = ResourceOrchestrator(sim, topo)
+
+        state = {"flipped_at": None, "ready_at": None, "received": 0, "lost": 0}
+
+        def consume(size: int, now: float) -> None:
+            if state["flipped_at"] is None or state["ready_at"] is not None:
+                state["received"] += 1  # old instance, or new instance up
+            else:
+                state["lost"] += 1  # rules point at a VM still booting
+
+        source = CBRSource(sim, consume, rate_kpps * 1000.0, 1500)
+        source.start()
+
+        def flip_rules() -> None:
+            state["flipped_at"] = sim.now
+
+        def start_failover() -> None:
+            # Rules first (70 ms), then the boot request — the paper's
+            # measurement trick.
+            orch.odl.install_rules(["redirect"], on_installed=flip_rules)
+            orch.launch_instance(FIREWALL, "s1", on_ready=on_ready)
+
+        def on_ready(instance) -> None:
+            state["ready_at"] = sim.now
+
+        sim.schedule(1.0, start_failover)
+        sim.run(until=8.0)
+        assert state["flipped_at"] is not None and state["ready_at"] is not None
+        gap = state["ready_at"] - state["flipped_at"]
+        boot = state["ready_at"] - 1.0 - RULE_INSTALL_SECONDS
+        rows.append(
+            [k, round(boot, 3), round(gap, 3), state["lost"],
+             round(state["lost"] / (rate_kpps * 1000.0), 3)]
+        )
+    gaps = [r[2] for r in rows]
+    rows.append(
+        ["mean", round(sum(r[1] for r in rows) / len(rows), 3),
+         round(sum(gaps) / len(gaps), 3), "-", "-"]
+    )
+    return ExperimentResult(
+        experiment="Fig. 7",
+        description="throughput gap while a ClickOS VM boots via OpenStack",
+        paper_expectation="boot 3.9-4.6 s (mean 4.2 s); throughput drops to zero meanwhile",
+        columns=["Run", "Boot (s)", "Zero-tput gap (s)", "Packets lost", "Gap x rate (s)"],
+        rows=rows,
+    )

@@ -1,0 +1,73 @@
+"""Fig. 8: CDF of 20 MB file transfer time with and without failover.
+
+Sec. VIII-C/D: once the rule flip is deferred until the ClickOS VM is fully
+up (wait-5-seconds), or an existing VM is reconfigured (30 ms) instead of
+booted, failover adds *no* overhead — the three CDFs coincide, differing
+only by statistical fluctuation.  A fourth scenario (naive failover:
+rules flipped before boot) is included to show the overhead being avoided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cloud.opendaylight import RULE_INSTALL_SECONDS
+from repro.experiments.harness import ExperimentResult
+from repro.sim.tcp import run_transfer_batch
+from repro.vnf.clickos import CLICKOS_RECONFIGURE_SECONDS
+
+FILE_BYTES = 20 * 1024 * 1024
+#: Mean OpenStack-orchestrated ClickOS boot (Sec. VIII-B).
+NAIVE_OUTAGE = 4.2
+
+
+def scenarios(runs: int, seed: int = 0) -> Dict[str, List[float]]:
+    """Transfer durations per scenario.
+
+    * ``no-failover`` — plain transfer.
+    * ``wait-5s`` — VM boots first, rules flip after: the data path never
+      goes dark (the 70 ms rule install happens on the control path).
+    * ``reconfigure`` — existing ClickOS VM reconfigured (30 ms + 70 ms,
+      both control-path; no outage).
+    * ``naive`` — rules flipped before boot: a ~4.2 s blackout mid-flow.
+    """
+    return {
+        "no-failover": run_transfer_batch(FILE_BYTES, runs, seed=seed),
+        "wait-5s": run_transfer_batch(FILE_BYTES, runs, outage=(1.0, 0.0), seed=seed + 100),
+        "reconfigure": run_transfer_batch(
+            FILE_BYTES, runs, outage=(1.0, 0.0), seed=seed + 200
+        ),
+        "naive": run_transfer_batch(
+            FILE_BYTES, runs, outage=(0.4, NAIVE_OUTAGE), seed=seed + 300
+        ),
+    }
+
+
+def run(runs: int = 10, quick: bool = False) -> ExperimentResult:
+    """Report the CDF quantiles of each scenario."""
+    if quick:
+        runs = 4
+    data = scenarios(runs)
+    quantiles = [0.0, 0.25, 0.5, 0.75, 1.0]
+    rows: List[list] = []
+    for name, durations in data.items():
+        qs = np.quantile(durations, quantiles)
+        rows.append([name] + [round(float(q), 3) for q in qs])
+    return ExperimentResult(
+        experiment="Fig. 8",
+        description="distribution of 20 MB file TX time",
+        paper_expectation=(
+            "no-failover / wait-5s / reconfigure coincide (differences are "
+            "statistical fluctuation); only a naive flip-before-boot pays "
+            "the ~4.2 s boot"
+        ),
+        columns=["Scenario", "min", "p25", "median", "p75", "max"],
+        rows=rows,
+        notes=(
+            f"control-path costs: rule install {RULE_INSTALL_SECONDS*1000:.0f} ms, "
+            f"reconfigure {CLICKOS_RECONFIGURE_SECONDS*1000:.0f} ms — both off "
+            "the data path"
+        ),
+    )

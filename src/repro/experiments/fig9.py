@@ -1,0 +1,108 @@
+"""Fig. 9: overload detection and fast failover on the prototype.
+
+Sec. VIII-E: pktgen sends 1500-byte UDP at 1 Kpps through a ClickOS
+passive monitor; the rate soars to 10 Kpps (overload threshold 8.5 Kpps),
+detection is immediate, a second monitor is configured (reconfigure 30 ms
++ rule install 70 ms) and traffic splits; when the rate returns to 1 Kpps
+(below the 4 Kpps rollback threshold) the system rolls back.  Packet loss
+stays 0% throughout — the threshold sits below the monitor's true knee.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.opendaylight import RULE_INSTALL_SECONDS
+from repro.core.dynamic import OverloadDetector
+from repro.experiments.harness import ExperimentResult
+from repro.sim.kernel import Simulator
+from repro.sim.sources import CBRSource, RateMeter
+from repro.vnf.clickos import CLICKOS_RECONFIGURE_SECONDS
+from repro.vnf.instance import VNFInstance
+from repro.vnf.types import NFType
+
+#: The monitor's true loss knee sits above the 8.5 Kpps detection
+#: threshold ("we set a proper threshold" below the knee, Sec. VII-B).
+MONITOR_KNEE_PPS = 12_000.0
+
+
+class Fig9Harness:
+    """The two-monitor failover rig of the prototype experiment."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        monitor_type = NFType(
+            "passive-monitor", cores=1, capacity_mbps=1e9, clickos=True,
+            capacity_pps=MONITOR_KNEE_PPS,
+        )
+        self.primary = VNFInstance("monitor-0", monitor_type, "s1", sim=sim)
+        self.secondary = VNFInstance("monitor-1", monitor_type, "s1", sim=sim)
+        self.split = False
+        self._toggle = False
+        self.meter = RateMeter(sim, window=0.2, downstream=self._dispatch)
+        self.detector = OverloadDetector(
+            sim,
+            rate_fn=self.meter.rate_pps,
+            on_overload=self._on_overload,
+            on_recovery=self._on_recovery,
+            poll_interval=0.05,
+        )
+        self.timeline: List[list] = []
+
+    def _dispatch(self, size: int, now: float) -> None:
+        if self.split:
+            self._toggle = not self._toggle
+            target = self.secondary if self._toggle else self.primary
+        else:
+            target = self.primary
+        target.consume(size, now)
+
+    def _on_overload(self) -> None:
+        # Reconfigure the spare ClickOS VM, then flip rules; both on the
+        # control path while the primary keeps carrying traffic.
+        delay = CLICKOS_RECONFIGURE_SECONDS + RULE_INSTALL_SECONDS
+
+        def activate() -> None:
+            self.split = True
+            self.timeline.append([self.sim.now, "split-active", self.meter.rate_pps()])
+
+        self.timeline.append([self.sim.now, "overload-detected", self.meter.rate_pps()])
+        self.sim.schedule(delay, activate)
+
+    def _on_recovery(self) -> None:
+        self.split = False
+        self.timeline.append([self.sim.now, "rollback", self.meter.rate_pps()])
+
+    @property
+    def total_loss(self) -> int:
+        return self.primary.stats.packets_dropped + self.secondary.stats.packets_dropped
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Drive the 1 → 10 → 1 Kpps rate pattern and record events."""
+    sim = Simulator(seed=9)
+    rig = Fig9Harness(sim)
+    source = CBRSource(sim, rig.meter.consume, 1000.0, 1500)
+    source.start()
+    sim.schedule(2.0, lambda: (source.set_rate(10_000.0),
+                               rig.timeline.append([sim.now, "rate->10Kpps", 1.0])))
+    sim.schedule(7.0, lambda: (source.set_rate(1000.0),
+                               rig.timeline.append([sim.now, "rate->1Kpps", 10.0])))
+    sim.run(until=4.0 if quick else 10.0)
+    rig.detector.stop()
+    source.stop()
+
+    rows = [[round(t, 3), event, round(float(rate), 1)] for t, event, rate in rig.timeline]
+    rows.append(["-", "total packet loss", rig.total_loss])
+    rows.append(["-", "loss ratio", rig.primary.stats.loss_ratio])
+    return ExperimentResult(
+        experiment="Fig. 9",
+        description="overloading detection and fast failover timeline",
+        paper_expectation=(
+            "overload detected immediately after the 10 Kpps surge; second "
+            "monitor configured within ~100 ms; rollback after the rate "
+            "drops; 0% packet loss throughout"
+        ),
+        columns=["Time (s)", "Event", "Rate (pps)"],
+        rows=rows,
+    )

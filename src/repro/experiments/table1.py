@@ -1,0 +1,35 @@
+"""Table I: comparison of NF orchestration frameworks.
+
+Qualitative — reproduced from the framework property matrix plus a check
+that APPLE's three properties actually hold in *this* implementation
+(delegated to the integration test-suite; here we report the matrix).
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import FRAMEWORK_COMPARISON
+from repro.experiments.harness import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Render Table I."""
+    rows = [
+        [
+            fw.name,
+            "yes" if fw.policy_enforcement else "no",
+            "yes" if fw.interference_free else "no",
+            "yes" if fw.isolation else "no",
+        ]
+        for fw in FRAMEWORK_COMPARISON
+    ]
+    return ExperimentResult(
+        experiment="Table I",
+        description="comparison of NF orchestration frameworks",
+        paper_expectation="APPLE is the only framework with all three properties",
+        columns=["Framework", "Policy Enforcement", "Interference Free", "Isolation"],
+        rows=rows,
+        notes=(
+            "APPLE's three properties are verified behaviourally by "
+            "tests/test_integration_properties.py"
+        ),
+    )

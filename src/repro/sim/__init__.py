@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel used by every APPLE substrate.
+
+The original APPLE prototype runs on a physical testbed (OpenStack + Xen +
+Open vSwitch).  This package provides the timing substrate that stands in for
+that testbed: a deterministic event queue, generator-based processes,
+periodic timers, packet sources (CBR / Poisson / on-off) and a flow-level TCP
+transfer model used by the Fig. 8 experiment.
+
+Typical usage::
+
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=7)
+    sim.schedule(1.0, lambda: print("one second in"))
+    sim.run(until=10.0)
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Process, Simulator, Timer
+from repro.sim.rng import SeededRNG
+from repro.sim.sources import CBRSource, OnOffSource, PoissonSource
+from repro.sim.tcp import TcpTransfer, TcpTransferResult
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Process",
+    "Simulator",
+    "Timer",
+    "SeededRNG",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+    "TcpTransfer",
+    "TcpTransferResult",
+]

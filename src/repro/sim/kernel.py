@@ -1,0 +1,249 @@
+"""The discrete-event simulator: clock, scheduler, processes and timers.
+
+The kernel is intentionally small (a few hundred lines) but supports the
+three styles of simulation code used across the repository:
+
+* plain callbacks (``sim.schedule(delay, fn, args)``),
+* generator *processes* that ``yield`` delays, in the style of SimPy, and
+* periodic :class:`Timer` objects (used e.g. by the Dynamic Handler to poll
+  Open vSwitch packet counters every interval).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional, Tuple
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import SeededRNG
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. negative delays)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: seed for the simulator-owned RNG handed to stochastic
+            components (packet sources, traffic noise).
+
+    Attributes:
+        now: current simulation time in seconds.
+        rng: a :class:`~repro.sim.rng.SeededRNG` owned by this simulator.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = SeededRNG(seed)
+        self._queue = EventQueue()
+        self._running = False
+        self._fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self.now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, already at {self.now!r}"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    # ------------------------------------------------------------------
+    # Processes and timers
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator[float, None, None]) -> "Process":
+        """Start a generator-based process.
+
+        The generator yields non-negative floats interpreted as delays;
+        the process resumes after each delay until the generator returns.
+        """
+        proc = Process(self, generator)
+        proc._step()
+        return proc
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        start_delay: Optional[float] = None,
+    ) -> "Timer":
+        """Run ``callback`` periodically; returns a cancellable :class:`Timer`."""
+        timer = Timer(self, interval, callback, args)
+        timer.start(start_delay if start_delay is not None else interval)
+        return timer
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events fired.
+
+        When stopped by ``until``, the clock is advanced exactly to
+        ``until`` so back-to-back ``run`` calls tile the timeline.
+        """
+        fired = 0
+        self._running = True
+        try:
+            while self._queue:
+                try:
+                    next_time = self._queue.peek_time()
+                except IndexError:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.fire()
+                fired += 1
+                self._fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return fired
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        return self.run(until=None, max_events=max_events)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled shells)."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events fired over the simulator's lifetime."""
+        return self._fired
+
+    def reset(self) -> None:
+        """Drop pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self.now = 0.0
+        self._fired = 0
+
+
+class Process:
+    """A generator-based cooperative process.
+
+    The wrapped generator yields delays (floats).  ``Process`` schedules its
+    own continuation after each yield.  Exceptions raised by the generator
+    propagate out of the event that resumed it, which fails tests loudly
+    instead of being swallowed.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[float, None, None]) -> None:
+        self._sim = sim
+        self._gen = generator
+        self._alive = True
+        self._next_event: Optional[Event] = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished or been interrupted."""
+        return self._alive
+
+    def interrupt(self) -> None:
+        """Stop the process; its pending wakeup is cancelled."""
+        self._alive = False
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        self._gen.close()
+
+    def _step(self) -> None:
+        if not self._alive:
+            return
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self._alive = False
+            self._next_event = None
+            return
+        if delay < 0:
+            raise SimulationError(f"process yielded negative delay {delay!r}")
+        self._next_event = self._sim.schedule(delay, self._step)
+
+
+class Timer:
+    """A periodic timer built on the event queue.
+
+    Used by polling components (overload detection polls vSwitch counters,
+    the Optimization Engine re-runs each period).  Cancelling is O(1).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval!r}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+        self._active = False
+        self.fire_count = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer will fire again."""
+        return self._active
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Arm the timer; first firing after ``first_delay`` (default: interval)."""
+        self._active = True
+        delay = self.interval if first_delay is None else first_delay
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def cancel(self) -> None:
+        """Disarm the timer."""
+        self._active = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        self.fire_count += 1
+        self._callback(*self._args)
+        if self._active:
+            self._event = self._sim.schedule(self.interval, self._tick)
+
+
+def drain(sim: Simulator, chunks: Iterable[float]) -> None:
+    """Run the simulator through consecutive time chunks (test helper)."""
+    for horizon in chunks:
+        sim.run(until=horizon)

@@ -1,0 +1,69 @@
+"""Seeded randomness for reproducible experiments.
+
+Every stochastic component takes a :class:`SeededRNG` (or derives a child
+stream from one) so each experiment is exactly reproducible given a seed.
+Child streams are derived by hashing the parent seed with a label, which
+decouples component randomness from the order components are created in.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class SeededRNG:
+    """Thin wrapper around :class:`numpy.random.Generator` with child streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._gen = np.random.default_rng(self.seed)
+
+    def child(self, label: str) -> "SeededRNG":
+        """Derive an independent stream keyed by ``label``.
+
+        The derivation is deterministic: the same (seed, label) pair always
+        yields the same stream, regardless of creation order.
+        """
+        mix = zlib.crc32(label.encode("utf-8"))
+        return SeededRNG((self.seed * 1_000_003 + mix) & 0x7FFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Distribution helpers (delegate to numpy)
+    # ------------------------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self._gen.uniform(low, high))
+
+    def exponential(self, mean: float) -> float:
+        return float(self._gen.exponential(mean))
+
+    def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
+        return float(self._gen.normal(mean, std))
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        return float(self._gen.lognormal(mean, sigma))
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, items: Sequence, size: Optional[int] = None, replace: bool = True):
+        """Uniform choice from a sequence (scalar when ``size`` is None)."""
+        idx = self._gen.choice(len(items), size=size, replace=replace)
+        if size is None:
+            return items[int(idx)]
+        return [items[int(i)] for i in idx]
+
+    def shuffle(self, items: list) -> None:
+        self._gen.shuffle(items)
+
+    def array(self, shape, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+        """Uniform array — used by traffic-matrix synthesis."""
+        return self._gen.uniform(low, high, size=shape)
+
+    @property
+    def numpy(self) -> np.random.Generator:
+        """The underlying numpy generator for vectorised sampling."""
+        return self._gen

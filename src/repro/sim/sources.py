@@ -1,0 +1,194 @@
+"""Packet sources standing in for pktgen / Iperf / namespace senders.
+
+The paper's prototype experiments (Sec. VIII) drive the system with pktgen
+(1500-byte UDP at configurable Kpps) and Iperf.  These sources reproduce that
+role on the discrete-event kernel: each source emits packet events at a
+configured rate into a ``consume(packet_size_bytes, now)`` callback —
+typically a VNF instance, a data-plane port, or a plain recording sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+
+Consumer = Callable[[int, float], None]
+
+
+class _BaseSource:
+    """Shared machinery: start/stop, emitted-packet accounting, rate changes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: Consumer,
+        packet_size: int = 1500,
+        name: str = "source",
+    ) -> None:
+        if packet_size <= 0:
+            raise SimulationError(f"packet_size must be positive, got {packet_size}")
+        self.sim = sim
+        self.consumer = consumer
+        self.packet_size = packet_size
+        self.name = name
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._proc: Optional[Process] = None
+
+    def start(self) -> None:
+        """Begin emitting packets."""
+        if self._proc is not None and self._proc.alive:
+            return
+        self._proc = self.sim.process(self._emit())
+
+    def stop(self) -> None:
+        """Stop emitting packets."""
+        if self._proc is not None:
+            self._proc.interrupt()
+            self._proc = None
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.alive
+
+    def _send_one(self) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += self.packet_size
+        self.consumer(self.packet_size, self.sim.now)
+
+    def _emit(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class CBRSource(_BaseSource):
+    """Constant-bit-rate source (the pktgen stand-in).
+
+    Args:
+        rate_pps: packets per second.  May be changed while running via
+            :meth:`set_rate`, which is how Fig. 9's 1 → 10 → 1 Kpps rate
+            steps are produced.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: Consumer,
+        rate_pps: float,
+        packet_size: int = 1500,
+        name: str = "cbr",
+    ) -> None:
+        super().__init__(sim, consumer, packet_size, name)
+        if rate_pps <= 0:
+            raise SimulationError(f"rate_pps must be positive, got {rate_pps}")
+        self.rate_pps = float(rate_pps)
+
+    def set_rate(self, rate_pps: float) -> None:
+        """Change the emission rate; takes effect from the next packet."""
+        if rate_pps <= 0:
+            raise SimulationError(f"rate_pps must be positive, got {rate_pps}")
+        self.rate_pps = float(rate_pps)
+
+    def _emit(self):
+        while True:
+            self._send_one()
+            yield 1.0 / self.rate_pps
+
+
+class PoissonSource(_BaseSource):
+    """Poisson arrivals with a given mean rate (memoryless gaps)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: Consumer,
+        rate_pps: float,
+        packet_size: int = 1500,
+        name: str = "poisson",
+    ) -> None:
+        super().__init__(sim, consumer, packet_size, name)
+        if rate_pps <= 0:
+            raise SimulationError(f"rate_pps must be positive, got {rate_pps}")
+        self.rate_pps = float(rate_pps)
+        self._rng = sim.rng.child(f"poisson:{name}")
+
+    def _emit(self):
+        while True:
+            yield self._rng.exponential(1.0 / self.rate_pps)
+            self._send_one()
+
+
+class OnOffSource(_BaseSource):
+    """Bursty on/off source: CBR during ON, silent during OFF.
+
+    ON/OFF durations are exponential.  Used to mimic the "fiercely changed
+    traffic" the fast-failover evaluation (Fig. 12) stresses.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: Consumer,
+        rate_pps: float,
+        mean_on: float = 1.0,
+        mean_off: float = 1.0,
+        packet_size: int = 1500,
+        name: str = "onoff",
+    ) -> None:
+        super().__init__(sim, consumer, packet_size, name)
+        if rate_pps <= 0 or mean_on <= 0 or mean_off <= 0:
+            raise SimulationError("rate_pps, mean_on, mean_off must be positive")
+        self.rate_pps = float(rate_pps)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self._rng = sim.rng.child(f"onoff:{name}")
+
+    def _emit(self):
+        gap = 1.0 / self.rate_pps
+        while True:
+            on_end = self.sim.now + self._rng.exponential(self.mean_on)
+            while self.sim.now < on_end:
+                self._send_one()
+                yield gap
+            yield self._rng.exponential(self.mean_off)
+
+
+class RateMeter:
+    """Sliding-window packet-rate estimator.
+
+    Counts packets via :meth:`consume` (so it can sit between a source and a
+    downstream consumer) and reports the rate over the last ``window``
+    seconds — the same quantity the Dynamic Handler derives from Open
+    vSwitch per-port counters.
+    """
+
+    def __init__(self, sim: Simulator, window: float = 0.5, downstream: Optional[Consumer] = None) -> None:
+        if window <= 0:
+            raise SimulationError(f"window must be positive, got {window}")
+        self.sim = sim
+        self.window = window
+        self.downstream = downstream
+        self._stamps: list = []
+        self.total_packets = 0
+
+    def consume(self, packet_size: int, now: float) -> None:
+        """Record a packet and forward it downstream if configured."""
+        self.total_packets += 1
+        self._stamps.append(now)
+        self._trim(now)
+        if self.downstream is not None:
+            self.downstream(packet_size, now)
+
+    def rate_pps(self) -> float:
+        """Packet rate over the last window, in packets/second."""
+        self._trim(self.sim.now)
+        return len(self._stamps) / self.window
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.window
+        stamps = self._stamps
+        i = 0
+        while i < len(stamps) and stamps[i] < cutoff:
+            i += 1
+        if i:
+            del stamps[:i]

@@ -1,0 +1,32 @@
+"""ILP/LP layer: the CPLEX stand-in used by the Optimization Engine.
+
+Sec. IV-D formulates VNF placement as an ILP (NP-hard via Set Cover) and
+solves it with "LP relaxation, an approximation technique ... by CPLEX".
+This package provides:
+
+* :mod:`repro.solver.model` — a declarative, sparse LP/ILP model builder;
+* :mod:`repro.solver.lp` — LP solving via ``scipy.optimize.linprog`` (HiGHS);
+* :mod:`repro.solver.rounding` — LP relaxation + deterministic rounding and
+  repair (the production path, mirroring the paper);
+* :mod:`repro.solver.branch_bound` — exact branch-and-bound for small
+  instances (used to validate rounding quality in the ablation bench).
+"""
+
+from repro.solver.branch_bound import BranchBoundResult, solve_branch_bound
+from repro.solver.lp import LPResult, solve_lp
+from repro.solver.model import Constraint, LinExpr, Model, Sense, Variable
+from repro.solver.rounding import RoundingResult, solve_with_rounding
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "solve_lp",
+    "LPResult",
+    "solve_with_rounding",
+    "RoundingResult",
+    "solve_branch_bound",
+    "BranchBoundResult",
+]

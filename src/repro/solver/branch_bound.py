@@ -1,0 +1,126 @@
+"""Exact branch-and-bound over the LP relaxation.
+
+Practical only for small models (Internet2-scale); the evaluation uses it
+to quantify the optimality gap of the production rounding path (the
+``bench_ablation_solver`` benchmark).  Best-bound node selection, branching
+on the most fractional integer variable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.solver.lp import LPResult, SolverError, solve_lp
+from repro.solver.model import Model
+
+
+@dataclass
+class BranchBoundResult:
+    """Outcome of a branch-and-bound search."""
+
+    status: str  # "optimal", "feasible" (node limit hit), "infeasible"
+    objective: float
+    solution: Optional[np.ndarray]
+    nodes_explored: int
+    gap: float  # relative gap between incumbent and best bound
+
+    def value_of(self, var) -> float:
+        if self.solution is None:
+            raise ValueError("no incumbent solution")
+        return float(self.solution[var.index])
+
+
+def _most_fractional(solution: np.ndarray, integer_indices, tol: float) -> Optional[int]:
+    best_idx, best_frac = None, tol
+    for i in integer_indices:
+        frac = abs(solution[i] - round(solution[i]))
+        if frac > best_frac:
+            best_idx, best_frac = i, frac
+    return best_idx
+
+
+def solve_branch_bound(
+    model: Model,
+    max_nodes: int = 2000,
+    int_tol: float = 1e-6,
+    gap_tol: float = 1e-6,
+) -> BranchBoundResult:
+    """Minimise ``model`` respecting integrality of its integer variables."""
+    compiled = model.compile()
+    integer_indices = model.integer_indices
+    n = model.num_variables
+    counter = itertools.count()
+
+    try:
+        root = solve_lp(model, compiled)
+    except SolverError:
+        return BranchBoundResult("infeasible", math.inf, None, 0, math.inf)
+
+    # Heap of (lp_bound, tiebreak, lower_overrides, upper_overrides)
+    nan = np.full(n, np.nan)
+    heap = [(root.objective, next(counter), nan.copy(), nan.copy(), root)]
+    incumbent_obj = math.inf
+    incumbent: Optional[np.ndarray] = None
+    nodes = 0
+
+    def try_round_up(lp_result) -> None:
+        """Primal heuristic: ceil the integer variables, keep if feasible."""
+        nonlocal incumbent_obj, incumbent
+        snapped = lp_result.solution.copy()
+        for i in integer_indices:
+            snapped[i] = math.ceil(snapped[i] - int_tol)
+        if model.check_feasible(snapped, tol=1e-6):
+            return
+        objective = model.objective.value(snapped)
+        if objective < incumbent_obj:
+            incumbent_obj = objective
+            incumbent = snapped
+
+    try_round_up(root)
+
+    while heap and nodes < max_nodes:
+        bound, _, lbs, ubs, lp = heapq.heappop(heap)
+        if bound >= incumbent_obj - gap_tol:
+            continue
+        nodes += 1
+        try_round_up(lp)
+        branch_var = _most_fractional(lp.solution, integer_indices, int_tol)
+        if branch_var is None:
+            # Integral solution: candidate incumbent.
+            if lp.objective < incumbent_obj:
+                incumbent_obj = lp.objective
+                incumbent = lp.solution.copy()
+            continue
+        pivot = lp.solution[branch_var]
+        for is_down in (True, False):
+            new_lbs, new_ubs = lbs.copy(), ubs.copy()
+            if is_down:
+                new_ubs[branch_var] = math.floor(pivot)
+            else:
+                new_lbs[branch_var] = math.ceil(pivot)
+            try:
+                child = solve_lp(
+                    model,
+                    compiled,
+                    extra_lower_bounds=new_lbs,
+                    extra_upper_bounds=new_ubs,
+                )
+            except SolverError:
+                continue
+            if child.objective < incumbent_obj - gap_tol:
+                heapq.heappush(
+                    heap, (child.objective, next(counter), new_lbs, new_ubs, child)
+                )
+
+    if incumbent is None:
+        return BranchBoundResult("infeasible", math.inf, None, nodes, math.inf)
+    best_bound = min((item[0] for item in heap), default=incumbent_obj)
+    gap = abs(incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj))
+    status = "optimal" if not heap or gap <= gap_tol else "feasible"
+    return BranchBoundResult(status, incumbent_obj, incumbent, nodes, gap)

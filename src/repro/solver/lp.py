@@ -1,0 +1,87 @@
+"""LP solving via scipy's HiGHS backend.
+
+Solves the continuous relaxation of a :class:`~repro.solver.model.Model`
+(integrality is ignored here; see :mod:`repro.solver.rounding` and
+:mod:`repro.solver.branch_bound` for integer handling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.solver.model import CompiledModel, Model
+
+
+class SolverError(RuntimeError):
+    """Raised when the LP backend fails or the model is infeasible."""
+
+
+@dataclass
+class LPResult:
+    """Solution of a continuous LP."""
+
+    status: str
+    objective: float
+    solution: np.ndarray
+
+    def value_of(self, var) -> float:
+        """Value of a model variable in this solution."""
+        return float(self.solution[var.index])
+
+
+def _clamp_bounds(bounds: List[Tuple[float, float]]) -> List[Tuple[float, Optional[float]]]:
+    return [(lb, None if ub == float("inf") else ub) for lb, ub in bounds]
+
+
+def solve_lp(
+    model: Model,
+    compiled: Optional[CompiledModel] = None,
+    extra_upper_bounds: Optional[np.ndarray] = None,
+    extra_lower_bounds: Optional[np.ndarray] = None,
+    b_ub_override: Optional[np.ndarray] = None,
+) -> LPResult:
+    """Solve the LP relaxation of ``model``.
+
+    Args:
+        compiled: reuse a pre-compiled model (branch-and-bound recompiles
+            bounds only, not the matrices).
+        extra_upper_bounds / extra_lower_bounds: per-variable bound
+            overrides (NaN = keep model bound), used for branching.
+        b_ub_override: replacement right-hand-side vector for the ≤ rows
+            (e.g. tightened resource budgets); matrices are reused.
+
+    Raises:
+        SolverError: if the problem is infeasible or unbounded.
+    """
+    cm = compiled if compiled is not None else model.compile()
+    bounds = list(cm.bounds)
+    if extra_lower_bounds is not None or extra_upper_bounds is not None:
+        new_bounds = []
+        for i, (lb, ub) in enumerate(bounds):
+            if extra_lower_bounds is not None and not np.isnan(extra_lower_bounds[i]):
+                lb = max(lb, float(extra_lower_bounds[i]))
+            if extra_upper_bounds is not None and not np.isnan(extra_upper_bounds[i]):
+                ub = min(ub, float(extra_upper_bounds[i]))
+            new_bounds.append((lb, ub))
+        bounds = new_bounds
+
+    res = linprog(
+        cm.c,
+        A_ub=cm.a_ub,
+        b_ub=cm.b_ub if b_ub_override is None else b_ub_override,
+        A_eq=cm.a_eq,
+        b_eq=cm.b_eq,
+        bounds=_clamp_bounds(bounds),
+        method="highs",
+    )
+    if res.status == 2:
+        raise SolverError(f"model {model.name!r}: infeasible")
+    if res.status == 3:
+        raise SolverError(f"model {model.name!r}: unbounded")
+    if not res.success:
+        raise SolverError(f"model {model.name!r}: solver failed ({res.message})")
+    return LPResult(status="optimal", objective=float(res.fun), solution=res.x)

@@ -1,0 +1,293 @@
+"""Declarative sparse LP/ILP model builder.
+
+A tiny modeling language in the spirit of PuLP, but compiled to the sparse
+matrices :func:`scipy.optimize.linprog` consumes.  Supports continuous and
+integer variables, linear expressions, ≤ / ≥ / = constraints, and a
+minimisation objective.  Kept deliberately minimal: everything the
+Optimization Engine's formulation (Eq. 1–8) needs and nothing more.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+Number = Union[int, float]
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable (identified by its model index)."""
+
+    index: int
+    name: str
+    lb: float
+    ub: float
+    integer: bool
+
+    # Arithmetic builds LinExpr objects -------------------------------
+    def __add__(self, other) -> "LinExpr":
+        return LinExpr.of(self) + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return LinExpr.of(self) + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return LinExpr.of(self) - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self) + other
+
+    def __mul__(self, k: Number) -> "LinExpr":
+        return LinExpr.of(self) * k
+
+    def __rmul__(self, k: Number) -> "LinExpr":
+        return LinExpr.of(self) * k
+
+    def __le__(self, rhs) -> "Constraint":
+        return LinExpr.of(self) <= rhs
+
+    def __ge__(self, rhs) -> "Constraint":
+        return LinExpr.of(self) >= rhs
+
+    # NOTE: __eq__ is kept as identity (dataclass) so variables can live in
+    # dicts; use ``expr.eq(rhs)`` or ``LinExpr.of(v).eq(rhs)`` for equality
+    # constraints involving a bare variable.
+
+
+class LinExpr:
+    """A linear expression: ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Optional[Dict[int, float]] = None, constant: float = 0.0):
+        self.coeffs: Dict[int, float] = coeffs or {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def of(term: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        """Coerce a variable or number into an expression."""
+        if isinstance(term, LinExpr):
+            return term
+        if isinstance(term, Variable):
+            return LinExpr({term.index: 1.0})
+        return LinExpr({}, float(term))
+
+    @staticmethod
+    def total(terms: Iterable[Union["LinExpr", Variable, Tuple[Number, Variable]]]) -> "LinExpr":
+        """Sum of terms; tuples are (coefficient, variable) pairs."""
+        out = LinExpr()
+        for t in terms:
+            if isinstance(t, tuple):
+                k, v = t
+                out.coeffs[v.index] = out.coeffs.get(v.index, 0.0) + float(k)
+            else:
+                e = LinExpr.of(t)
+                for i, c in e.coeffs.items():
+                    out.coeffs[i] = out.coeffs.get(i, 0.0) + c
+                out.constant += e.constant
+        return out
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    # Arithmetic -------------------------------------------------------
+    def __add__(self, other) -> "LinExpr":
+        o = LinExpr.of(other)
+        out = self.copy()
+        for i, c in o.coeffs.items():
+            out.coeffs[i] = out.coeffs.get(i, 0.0) + c
+        out.constant += o.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (LinExpr.of(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, k: Number) -> "LinExpr":
+        return LinExpr({i: c * k for i, c in self.coeffs.items()}, self.constant * k)
+
+    __rmul__ = __mul__
+
+    # Constraint builders ------------------------------------------------
+    def __le__(self, rhs) -> "Constraint":
+        return Constraint(self - rhs, Sense.LE)
+
+    def __ge__(self, rhs) -> "Constraint":
+        return Constraint(self - rhs, Sense.GE)
+
+    def eq(self, rhs) -> "Constraint":
+        """Equality constraint ``self == rhs``."""
+        return Constraint(self - rhs, Sense.EQ)
+
+    def value(self, solution: np.ndarray) -> float:
+        """Evaluate under a solution vector."""
+        return self.constant + sum(c * solution[i] for i, c in self.coeffs.items())
+
+
+@dataclass
+class Constraint:
+    """``expr (sense) 0`` — the rhs is folded into the expression constant."""
+
+    expr: LinExpr
+    sense: Sense
+    name: str = ""
+
+    def violation(self, solution: np.ndarray, tol: float = 1e-6) -> float:
+        """Amount by which the constraint is violated (0 when satisfied)."""
+        v = self.expr.value(solution)
+        if self.sense is Sense.LE:
+            return max(0.0, v)
+        if self.sense is Sense.GE:
+            return max(0.0, -v)
+        return abs(v)
+
+
+@dataclass
+class CompiledModel:
+    """Sparse arrays ready for ``scipy.optimize.linprog``.
+
+    ``ub_row_of`` / ``eq_row_of`` map a constraint's index in
+    ``Model.constraints`` to its row in ``a_ub`` / ``a_eq``, letting callers
+    retune right-hand sides (e.g. resource budgets) without recompiling.
+    """
+
+    c: np.ndarray
+    a_ub: Optional[sparse.csr_matrix]
+    b_ub: Optional[np.ndarray]
+    a_eq: Optional[sparse.csr_matrix]
+    b_eq: Optional[np.ndarray]
+    bounds: List[Tuple[float, float]]
+    integer_mask: np.ndarray
+    ub_row_of: Dict[int, int] = None  # type: ignore[assignment]
+    eq_row_of: Dict[int, int] = None  # type: ignore[assignment]
+
+
+class Model:
+    """An LP/ILP model under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self._objective: Optional[LinExpr] = None
+
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = float("inf"),
+        integer: bool = False,
+    ) -> Variable:
+        """Create a variable; returns the handle used in expressions."""
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Variable(len(self.variables), name, float(lb), float(ub), integer)
+        self.variables.append(var)
+        return var
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built with <=, >= or .eq()."""
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr: Union[LinExpr, Variable]) -> None:
+        """Set the minimisation objective."""
+        self._objective = LinExpr.of(expr)
+
+    @property
+    def objective(self) -> LinExpr:
+        if self._objective is None:
+            raise ValueError("objective not set")
+        return self._objective
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def integer_indices(self) -> List[int]:
+        return [v.index for v in self.variables if v.integer]
+
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledModel:
+        """Flatten to sparse standard form."""
+        n = len(self.variables)
+        c = np.zeros(n)
+        for i, coef in self.objective.coeffs.items():
+            c[i] = coef
+
+        ub_rows: List[Tuple[Dict[int, float], float]] = []
+        eq_rows: List[Tuple[Dict[int, float], float]] = []
+        ub_row_of: Dict[int, int] = {}
+        eq_row_of: Dict[int, int] = {}
+        for ci, con in enumerate(self.constraints):
+            coeffs, const = con.expr.coeffs, con.expr.constant
+            if con.sense is Sense.LE:
+                ub_row_of[ci] = len(ub_rows)
+                ub_rows.append((coeffs, -const))
+            elif con.sense is Sense.GE:
+                ub_row_of[ci] = len(ub_rows)
+                ub_rows.append(({i: -k for i, k in coeffs.items()}, const))
+            else:
+                eq_row_of[ci] = len(eq_rows)
+                eq_rows.append((coeffs, -const))
+
+        def build(rows) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray]]:
+            if not rows:
+                return None, None
+            data, ri, ci, rhs = [], [], [], []
+            for r, (coeffs, b) in enumerate(rows):
+                rhs.append(b)
+                for i, k in coeffs.items():
+                    if k != 0.0:
+                        ri.append(r)
+                        ci.append(i)
+                        data.append(k)
+            mat = sparse.csr_matrix(
+                (data, (ri, ci)), shape=(len(rows), n), dtype=float
+            )
+            return mat, np.asarray(rhs, dtype=float)
+
+        a_ub, b_ub = build(ub_rows)
+        a_eq, b_eq = build(eq_rows)
+        bounds = [(v.lb, v.ub) for v in self.variables]
+        integer_mask = np.array([v.integer for v in self.variables], dtype=bool)
+        return CompiledModel(
+            c, a_ub, b_ub, a_eq, b_eq, bounds, integer_mask, ub_row_of, eq_row_of
+        )
+
+    def check_feasible(self, solution: np.ndarray, tol: float = 1e-6) -> List[str]:
+        """Names (or indices) of constraints violated by ``solution``."""
+        bad = []
+        for k, con in enumerate(self.constraints):
+            if con.violation(solution) > tol:
+                bad.append(con.name or f"constraint[{k}]")
+        for v in self.variables:
+            x = solution[v.index]
+            if x < v.lb - tol or x > v.ub + tol:
+                bad.append(f"bounds[{v.name}]")
+        return bad

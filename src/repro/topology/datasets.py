@@ -1,0 +1,137 @@
+"""The four evaluation topologies of Sec. IX-A, embedded as data.
+
+* :func:`internet2` — the Abilene/Internet2 research backbone: 12 PoPs and
+  15 links, matching the Abilene traffic-matrix dataset [1] the paper uses.
+* :func:`geant` — the GEANT pan-European research network from the TOTEM
+  dataset [41]: 23 nodes; the paper's "74 links" counts directed links, so
+  the undirected graph embedded here has 37 edges.
+* :func:`univ1` — the 2-tier campus data center of Benson et al. [16]:
+  23 switches (2 core + 21 edge) and 43 links.
+* :func:`as3679` — Rocketfuel router-level ISP AS-3679 [40]: 79 nodes and
+  147 links.  The original Rocketfuel trace is not redistributable, so the
+  graph is synthesised deterministically with the same node/link counts and
+  a heavy-tailed degree profile (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.topology.generators import isp_like, two_tier_datacenter
+from repro.topology.graph import Link, Topology
+
+# ---------------------------------------------------------------------------
+# Internet2 / Abilene: 12 PoPs, 15 links.
+# ---------------------------------------------------------------------------
+_ABILENE_NODES = [
+    "ATLA",    # Atlanta
+    "ATLA-M5", # Atlanta M5 (measurement node in the 12x12 TM dataset)
+    "CHIN",    # Chicago
+    "DNVR",    # Denver
+    "HSTN",    # Houston
+    "IPLS",    # Indianapolis
+    "KSCY",    # Kansas City
+    "LOSA",    # Los Angeles
+    "NYCM",    # New York
+    "SNVA",    # Sunnyvale
+    "STTL",    # Seattle
+    "WASH",    # Washington DC
+]
+
+_ABILENE_LINKS = [
+    ("ATLA", "ATLA-M5"),
+    ("ATLA", "HSTN"),
+    ("ATLA", "IPLS"),
+    ("ATLA", "WASH"),
+    ("CHIN", "IPLS"),
+    ("CHIN", "NYCM"),
+    ("DNVR", "KSCY"),
+    ("DNVR", "SNVA"),
+    ("DNVR", "STTL"),
+    ("HSTN", "KSCY"),
+    ("HSTN", "LOSA"),
+    ("IPLS", "KSCY"),
+    ("LOSA", "SNVA"),
+    ("NYCM", "WASH"),
+    ("SNVA", "STTL"),
+]
+
+
+def internet2(default_host_cores: int = 64) -> Topology:
+    """The Internet2/Abilene backbone (12 nodes, 15 links)."""
+    links = [Link(u, v, capacity_mbps=10_000.0) for u, v in _ABILENE_LINKS]
+    return Topology(
+        "internet2", _ABILENE_NODES, links, default_host_cores=default_host_cores
+    )
+
+
+# ---------------------------------------------------------------------------
+# GEANT (TOTEM): 23 nodes, 37 undirected links (74 directed).
+# ---------------------------------------------------------------------------
+_GEANT_NODES = [
+    "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE", "IL",
+    "IT", "LU", "NL", "PL", "PT", "SE", "SI", "SK", "UK", "US", "DK",
+]
+
+# Reconstructed GEANT adjacency: a European core mesh (DE/UK/FR/IT/NL hubs)
+# with the transatlantic US node, matching TOTEM's 23-node / 74-directed-link
+# footprint.
+_GEANT_LINKS = [
+    ("AT", "CH"), ("AT", "CZ"), ("AT", "DE"), ("AT", "HU"), ("AT", "IT"),
+    ("AT", "SI"), ("BE", "FR"), ("BE", "NL"), ("BE", "UK"), ("CH", "DE"),
+    ("CH", "FR"), ("CH", "IT"), ("CZ", "DE"), ("CZ", "PL"), ("CZ", "SK"),
+    ("DE", "DK"), ("DE", "FR"), ("DE", "IT"), ("DE", "NL"), ("DE", "SE"),
+    ("DE", "US"), ("DK", "SE"), ("ES", "FR"), ("ES", "IT"), ("ES", "PT"),
+    ("FR", "LU"), ("FR", "UK"), ("GR", "IT"), ("HR", "HU"), ("HR", "SI"),
+    ("HU", "SK"), ("IE", "UK"), ("IL", "IT"), ("IL", "NL"), ("NL", "UK"),
+    ("PL", "SE"), ("UK", "US"),
+]
+
+
+def geant(default_host_cores: int = 64) -> Topology:
+    """The GEANT pan-European research network (23 nodes, 37 undirected links)."""
+    links = [Link(u, v, capacity_mbps=10_000.0) for u, v in _GEANT_LINKS]
+    return Topology("geant", _GEANT_NODES, links, default_host_cores=default_host_cores)
+
+
+# ---------------------------------------------------------------------------
+# UNIV1 and AS-3679 (generated, deterministic).
+# ---------------------------------------------------------------------------
+def univ1(default_host_cores: int = 64) -> Topology:
+    """UNIV1: 2-tier campus data center, 23 switches / 43 links.
+
+    The paper notes UNIV1 "only has two core switches" whose limited compute
+    forces APPLE towards ingress placement (Sec. IX-D); the generated
+    topology has exactly 2 core and 21 edge switches.
+    """
+    topo = two_tier_datacenter(num_core=2, num_edge=21, name="univ1")
+    for spec in topo.hosts.values():
+        spec.cores = default_host_cores
+    return topo
+
+
+def as3679(default_host_cores: int = 64) -> Topology:
+    """Rocketfuel AS-3679 stand-in: 79 nodes / 147 links, heavy-tailed degrees."""
+    topo = isp_like(num_nodes=79, num_links=147, seed=3679, name="as3679")
+    for spec in topo.hosts.values():
+        spec.cores = default_host_cores
+    return topo
+
+
+TOPOLOGY_LOADERS: Dict[str, Callable[[], Topology]] = {
+    "internet2": internet2,
+    "geant": geant,
+    "univ1": univ1,
+    "as3679": as3679,
+}
+
+
+def load_topology(name: str) -> Topology:
+    """Load one of the four evaluation topologies by name."""
+    try:
+        loader = TOPOLOGY_LOADERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {sorted(TOPOLOGY_LOADERS)}"
+        ) from None
+    return loader()

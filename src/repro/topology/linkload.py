@@ -1,0 +1,66 @@
+"""Link-load accounting: what the routing application sees.
+
+Interference freedom means APPLE never changes link loads — the traffic
+matrix routed by the (unchanged) paths fully determines them.  These
+helpers compute per-link utilisation for a matrix + router, used by tests
+to prove deployments leave the load picture untouched, and by operators to
+spot hot links independently of VNF placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.topology.graph import Topology
+from repro.topology.routing import path_links, Router
+from repro.traffic.matrix import TrafficMatrix
+
+LinkKey = Tuple[str, str]
+
+
+def _canonical(u: str, v: str) -> LinkKey:
+    return (u, v) if u <= v else (v, u)
+
+
+def link_loads(
+    topo: Topology, router: Router, matrix: TrafficMatrix
+) -> Dict[LinkKey, float]:
+    """Mbps per (undirected) link under the matrix and routing.
+
+    ECMP routers split each demand equally across their equal-cost paths.
+    """
+    loads: Dict[LinkKey, float] = {_canonical(l.u, l.v): 0.0 for l in topo.links}
+    for src, dst, rate in matrix.pairs():
+        paths = router.paths(src, dst)
+        share = rate / len(paths)
+        for path in paths:
+            for u, v in path_links(path):
+                key = _canonical(u, v)
+                if key not in loads:
+                    raise KeyError(f"routed over unknown link {key}")
+                loads[key] += share
+    return loads
+
+
+def link_utilisation(
+    topo: Topology, router: Router, matrix: TrafficMatrix
+) -> Dict[LinkKey, float]:
+    """Load over capacity per link (1.0 = saturated)."""
+    capacity = {
+        _canonical(l.u, l.v): l.capacity_mbps for l in topo.links
+    }
+    return {
+        key: load / capacity[key] if capacity[key] > 0 else float("inf")
+        for key, load in link_loads(topo, router, matrix).items()
+    }
+
+
+def max_utilisation(
+    topo: Topology, router: Router, matrix: TrafficMatrix
+) -> Tuple[Optional[LinkKey], float]:
+    """(hottest link, its utilisation); (None, 0.0) for an empty matrix."""
+    utils = link_utilisation(topo, router, matrix)
+    if not utils:
+        return None, 0.0
+    hottest = max(utils, key=utils.get)
+    return hottest, utils[hottest]

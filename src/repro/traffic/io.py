@@ -1,0 +1,79 @@
+"""Traffic-matrix persistence: save/load series for reproducible runs.
+
+Experiments synthesise matrices from seeds, but downstream users often
+want to pin the exact series (or import measured ones).  Formats:
+
+* ``.npz`` — compact binary for full series (numpy archive holding the
+  node list, interval, and a (T, N, N) demand tensor);
+* ``.json`` — human-readable single matrices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
+
+PathLike = Union[str, Path]
+
+
+def save_series(series: TrafficMatrixSeries, path: PathLike) -> None:
+    """Write a series to a ``.npz`` archive."""
+    demands = np.stack([s.array for s in series.snapshots])
+    np.savez_compressed(
+        Path(path),
+        nodes=np.array(series.nodes, dtype=object),
+        interval=np.array([series.interval]),
+        demands=demands,
+    )
+
+
+def load_series(path: PathLike) -> TrafficMatrixSeries:
+    """Read a series written by :func:`save_series`.
+
+    Raises:
+        ValueError: malformed archive (missing keys or bad tensor shape).
+    """
+    with np.load(Path(path), allow_pickle=True) as data:
+        for key in ("nodes", "interval", "demands"):
+            if key not in data:
+                raise ValueError(f"series archive missing {key!r}")
+        nodes = tuple(str(n) for n in data["nodes"])
+        interval = float(data["interval"][0])
+        demands = data["demands"]
+    if demands.ndim != 3 or demands.shape[1] != len(nodes) or (
+        demands.shape[1] != demands.shape[2]
+    ):
+        raise ValueError(f"bad demand tensor shape {demands.shape}")
+    snapshots = [TrafficMatrix(nodes, demands[k]) for k in range(demands.shape[0])]
+    return TrafficMatrixSeries(nodes, snapshots, interval)
+
+
+def save_matrix_json(matrix: TrafficMatrix, path: PathLike) -> None:
+    """Write one matrix as human-readable JSON."""
+    payload = {
+        "nodes": list(matrix.nodes),
+        "demands_mbps": [
+            [float(x) for x in row] for row in matrix.array.tolist()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_matrix_json(path: PathLike) -> TrafficMatrix:
+    """Read a matrix written by :func:`save_matrix_json`.
+
+    Raises:
+        ValueError: malformed document.
+    """
+    payload = json.loads(Path(path).read_text())
+    try:
+        nodes = payload["nodes"]
+        demands = payload["demands_mbps"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed matrix JSON in {path}") from exc
+    return TrafficMatrix(nodes, demands)

@@ -1,0 +1,153 @@
+"""VNF instances and the rate-driven capacity/loss model.
+
+Sec. VII-B measured that "for most of the VNFs, the performance is closely
+related to the packet receiving rate, but not the packet size" (Fig. 6):
+a ClickOS passive monitor drops nothing until the receiving rate passes its
+capacity knee, after which the loss rate soars as 1 − capacity/rate.
+
+:class:`VNFInstance` supports both views:
+
+* fluid — :meth:`offered_load_loss` maps an offered rate to a loss ratio
+  (used by the trace-replay simulation of Fig. 12);
+* packet-level — :meth:`consume` admits/drops individual packets against a
+  sliding-window rate limit (used by the Fig. 6 / Fig. 9 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.vnf.types import NFType
+
+PacketHook = Callable[[int, float], None]
+
+
+@dataclass
+class InstanceStats:
+    """Running counters of one instance."""
+
+    packets_in: int = 0
+    packets_processed: int = 0
+    packets_dropped: int = 0
+    bytes_processed: int = 0
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of received packets dropped so far."""
+        if self.packets_in == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_in
+
+
+class VNFInstance:
+    """One running VNF instance (a VM) attached to an APPLE host.
+
+    Args:
+        instance_id: unique identifier.
+        nf_type: the datasheet (capacity, cores, ClickOS flag).
+        switch: the switch whose APPLE host runs this instance.
+        sim: optional simulator; required for packet-level operation.
+        window: sliding window (seconds) for the packet-level rate limit.
+        downstream: optional hook receiving processed packets.
+    """
+
+    def __init__(
+        self,
+        instance_id: str,
+        nf_type: NFType,
+        switch: str,
+        sim: Optional[Simulator] = None,
+        window: float = 0.1,
+        downstream: Optional[PacketHook] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.instance_id = instance_id
+        self.nf_type = nf_type
+        self.switch = switch
+        self.sim = sim
+        self.window = window
+        self.downstream = downstream
+        self.stats = InstanceStats()
+        self.running = True
+        self._recent: List[float] = []  # processed-packet timestamps in window
+
+    # ------------------------------------------------------------------
+    # Fluid model
+    # ------------------------------------------------------------------
+    def offered_load_loss(self, offered_mbps: float) -> float:
+        """Loss ratio when carrying ``offered_mbps`` of traffic.
+
+        Zero below capacity; 1 − capacity/offered above it — the Fig. 6
+        knee, independent of packet size.
+        """
+        if offered_mbps <= self.nf_type.capacity_mbps:
+            return 0.0
+        return 1.0 - self.nf_type.capacity_mbps / offered_mbps
+
+    def utilization(self, offered_mbps: float) -> float:
+        """Offered load over capacity (may exceed 1 when overloaded)."""
+        return offered_mbps / self.nf_type.capacity_mbps
+
+    def is_overloaded(self, offered_mbps: float, threshold: float = 1.0) -> bool:
+        """Whether offered load exceeds ``threshold`` × capacity."""
+        return self.utilization(offered_mbps) > threshold
+
+    # ------------------------------------------------------------------
+    # Packet-level model
+    # ------------------------------------------------------------------
+    def consume(self, packet_size: int, now: Optional[float] = None) -> bool:
+        """Admit one packet; returns True if processed, False if dropped.
+
+        A packet is dropped when processing it would push the rate over
+        ``capacity_pps`` within the sliding window.  Packet size does not
+        affect admission (the paper's measured behaviour) but is recorded
+        for byte accounting.
+        """
+        if not self.running:
+            return False
+        if now is None:
+            if self.sim is None:
+                raise ValueError("packet-level consume needs a simulator or timestamps")
+            now = self.sim.now
+        self.stats.packets_in += 1
+        self._trim(now)
+        budget = self.nf_type.capacity_pps * self.window
+        if len(self._recent) + 1 > budget:
+            self.stats.packets_dropped += 1
+            return False
+        self._recent.append(now)
+        self.stats.packets_processed += 1
+        self.stats.bytes_processed += packet_size
+        if self.downstream is not None:
+            self.downstream(packet_size, now)
+        return True
+
+    def receive_rate_pps(self, now: Optional[float] = None) -> float:
+        """Processed-packet rate over the sliding window."""
+        if now is None and self.sim is not None:
+            now = self.sim.now
+        if now is not None:
+            self._trim(now)
+        return len(self._recent) / self.window
+
+    def shutdown(self) -> None:
+        """Stop the instance; further packets are dropped."""
+        self.running = False
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.window
+        recent = self._recent
+        i = 0
+        while i < len(recent) and recent[i] <= cutoff:
+            i += 1
+        if i:
+            del recent[:i]
+
+    def __repr__(self) -> str:
+        return (
+            f"VNFInstance({self.instance_id!r}, type={self.nf_type.name}, "
+            f"switch={self.switch!r})"
+        )

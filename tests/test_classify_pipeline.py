@@ -1,0 +1,100 @@
+"""Tests for the rules → atomic predicates → classes pipeline."""
+
+import pytest
+
+from repro.classify.pipeline import (
+    classes_from_rules,
+    PolicyRule,
+    PolicyRuleTable,
+)
+from repro.classify.rules import MatchRule
+from repro.core.engine import OptimizationEngine
+from repro.topology.datasets import internet2
+from repro.topology.routing import Router
+from repro.vnf.chains import PolicyChain
+
+HTTP = PolicyChain(["firewall", "ids", "proxy"])
+DORM = PolicyChain(["nat", "firewall"])
+DEFAULT = PolicyChain(["firewall"])
+
+
+@pytest.fixture
+def table():
+    return PolicyRuleTable(
+        [
+            PolicyRule(MatchRule(proto="tcp", dst_port=(80, 80)), HTTP),
+            PolicyRule(MatchRule(src="10.20.0.0/16"), DORM),
+            PolicyRule(MatchRule(), DEFAULT),
+        ]
+    )
+
+
+def test_first_match_wins(table):
+    # HTTP from the dorm prefix: rule 0 beats rule 1.
+    header = {"src_ip": (10 << 24) | (20 << 16) | 5, "proto": 6, "dst_port": 80}
+    assert table.chain_for_header(header) == HTTP
+    # Non-HTTP from the dorm: rule 1.
+    header2 = {"src_ip": (10 << 24) | (20 << 16) | 5, "proto": 6, "dst_port": 22}
+    assert table.chain_for_header(header2) == DORM
+    # Anything else: the catch-all.
+    assert table.chain_for_header({"src_ip": 1, "proto": 17}) == DEFAULT
+
+
+def test_atom_shares_partition_unit(table):
+    shares = table.atom_traffic_shares()
+    assert abs(sum(s for _, s in shares) - 1.0) < 1e-12
+    assert all(s > 0 for _, s in shares)
+
+
+def test_classes_from_rules_build_and_place(table):
+    topo = internet2()
+    router = Router(topo)
+    demands = [("ATLA", "CHIN", 900.0), ("NYCM", "LOSA", 450.0)]
+    classes = classes_from_rules(table, router, demands, min_share=1e-9)
+    assert classes
+    for cls in classes:
+        assert cls.path == router.path(cls.src, cls.dst)
+        assert cls.chain in (HTTP, DORM, DEFAULT)
+    # Rates per demand decompose the original rate.
+    for src, dst, rate in demands:
+        total = sum(
+            c.rate_mbps for c in classes if c.src == src and c.dst == dst
+        )
+        assert total == pytest.approx(rate, rel=1e-6)
+    # The classes are placeable end to end.
+    plan = OptimizationEngine().place(classes, {s: 64 for s in topo.switches})
+    assert not plan.validate({s: 64 for s in topo.switches})
+
+
+def test_catch_all_dominates_shares(table):
+    """The default rule covers almost all header space volume."""
+    shares = dict()
+    for atom_idx, share in table.atom_traffic_shares():
+        chain = table.chain_for_atom(atom_idx)
+        shares[chain] = shares.get(chain, 0.0) + share
+    assert shares[DEFAULT] > 0.9
+    assert shares[HTTP] > 0
+    assert shares[DORM] > 0
+
+
+def test_chainless_headers_get_no_class():
+    table = PolicyRuleTable(
+        [PolicyRule(MatchRule(proto="tcp", dst_port=(80, 80)), HTTP)]
+    )
+    topo = internet2()
+    router = Router(topo)
+    classes = classes_from_rules(
+        table, router, [("ATLA", "CHIN", 100.0)], min_share=0.0
+    )
+    # Only the HTTP sliver gets a class; unmatched space needs no VNFs.
+    assert all(c.chain == HTTP for c in classes)
+    assert sum(c.rate_mbps for c in classes) < 100.0
+
+
+def test_self_and_zero_demands_skipped(table):
+    topo = internet2()
+    router = Router(topo)
+    classes = classes_from_rules(
+        table, router, [("ATLA", "ATLA", 50.0), ("ATLA", "CHIN", 0.0)]
+    )
+    assert classes == []

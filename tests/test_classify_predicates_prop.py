@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the predicate algebra.
+
+The algebra's disjoint-cube invariant makes volume exact; these properties
+pin the Boolean-algebra laws the atomic-predicate computation relies on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classify.fields import FieldSpace, HeaderField
+from repro.classify.predicates import Cube, Predicate
+
+SPACE = FieldSpace([HeaderField("x", 5), HeaderField("y", 5)])
+TOTAL = SPACE.total_volume()
+
+
+@st.composite
+def cubes(draw):
+    constraints = {}
+    for name in ("x", "y"):
+        if draw(st.booleans()):
+            lo = draw(st.integers(0, 31))
+            hi = draw(st.integers(lo, 31))
+            constraints[name] = (lo, hi)
+    return Cube.make(SPACE, constraints)
+
+
+@st.composite
+def predicates(draw):
+    n = draw(st.integers(0, 3))
+    p = Predicate.nothing(SPACE)
+    for _ in range(n):
+        p = p.union(Predicate.of_cube(draw(cubes())))
+    return p
+
+
+@given(predicates())
+@settings(max_examples=60, deadline=None)
+def test_complement_involution(p):
+    assert p.complement().complement().equals(p)
+
+
+@given(predicates())
+@settings(max_examples=60, deadline=None)
+def test_complement_volume(p):
+    assert p.volume() + p.complement().volume() == TOTAL
+
+
+@given(predicates(), predicates())
+@settings(max_examples=60, deadline=None)
+def test_inclusion_exclusion(a, b):
+    assert a.union(b).volume() == a.volume() + b.volume() - a.intersect(b).volume()
+
+
+@given(predicates(), predicates())
+@settings(max_examples=60, deadline=None)
+def test_subtract_is_intersection_with_complement(a, b):
+    assert a.subtract(b).equals(a.intersect(b.complement()))
+
+
+@given(predicates(), predicates())
+@settings(max_examples=60, deadline=None)
+def test_de_morgan(a, b):
+    lhs = a.union(b).complement()
+    rhs = a.complement().intersect(b.complement())
+    assert lhs.equals(rhs)
+
+
+@given(predicates(), predicates())
+@settings(max_examples=60, deadline=None)
+def test_intersection_commutes(a, b):
+    assert a.intersect(b).equals(b.intersect(a))
+
+
+@given(predicates())
+@settings(max_examples=60, deadline=None)
+def test_union_with_self_idempotent(p):
+    assert p.union(p).equals(p)
+    assert p.union(p).volume() == p.volume()
+
+
+@given(predicates(), st.integers(0, 31), st.integers(0, 31))
+@settings(max_examples=60, deadline=None)
+def test_membership_consistent_with_complement(p, x, y):
+    header = {"x": x, "y": y}
+    assert p.contains(header) != p.complement().contains(header)
+
+
+@given(predicates())
+@settings(max_examples=60, deadline=None)
+def test_internal_cubes_disjoint(p):
+    """The core representation invariant: cubes never overlap."""
+    for i in range(len(p.cubes)):
+        for j in range(i + 1, len(p.cubes)):
+            assert p.cubes[i].intersect(p.cubes[j]) is None

@@ -1,0 +1,49 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import _QUICKABLE, EXPERIMENTS, main
+
+
+def test_all_experiments_registered():
+    expected = {
+        "table1", "table4", "table5",
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "packet_replay", "failure_sweep",
+    }
+    assert set(EXPERIMENTS) == expected
+    assert _QUICKABLE <= set(EXPERIMENTS)
+
+
+def test_cli_runs_subset(capsys):
+    assert main(["table1", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table IV" in out
+    assert "Fig. 6" not in out
+
+
+def test_cli_quick_flag(capsys):
+    assert main(["fig9", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "overload-detected" in out
+
+
+def test_cli_output_file(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(["table4", "--output", str(target)]) == 0
+    text = target.read_text()
+    assert text.startswith("# APPLE reproduction")
+    assert "VNF data sheets" in text
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_module_entry_point():
+    import repro.__main__  # importable without running
+
+    from repro.experiments import cli
+
+    assert repro.__main__.main is cli.main

@@ -1,0 +1,122 @@
+"""Tests for the resource monitor and the engine's compare_greedy path."""
+
+import pytest
+
+from repro.cloud.monitoring import ResourceMonitor
+from repro.cloud.orchestrator import ResourceOrchestrator
+from repro.core.engine import EngineConfig, OptimizationEngine
+from repro.core.greedy import greedy_placement
+from repro.sim.kernel import Simulator
+from repro.topology.datasets import internet2
+from repro.topology.graph import AppleHostSpec, Link, Topology
+from repro.topology.routing import Router
+from repro.traffic.classes import ClassBuilder, hashed_assignment
+from repro.traffic.gravity import gravity_matrix
+from repro.vnf.chains import STANDARD_CHAINS
+from repro.vnf.types import FIREWALL, NAT
+
+
+# ---------------------------------------------------------------------------
+# ResourceMonitor
+# ---------------------------------------------------------------------------
+def _orchestrated():
+    sim = Simulator(seed=3)
+    topo = Topology(
+        "t", ["s1", "s2"], [Link("s1", "s2")],
+        hosts={"s1": AppleHostSpec(cores=32)},
+    )
+    return sim, ResourceOrchestrator(sim, topo)
+
+
+def test_monitor_polls_on_interval():
+    sim, orch = _orchestrated()
+    monitor = ResourceMonitor(sim, orch, interval=1.0)
+    monitor.start(immediately=True)
+    sim.run(until=5.5)
+    monitor.stop()
+    assert len(monitor.history) == 6  # t = 0..5
+    assert monitor.latest.free_cores == {"s1": 32}
+
+
+def test_monitor_tracks_launches():
+    sim, orch = _orchestrated()
+    seen = []
+    monitor = ResourceMonitor(sim, orch, interval=1.0, on_snapshot=seen.append)
+    monitor.start()
+    orch.launch_instance(FIREWALL, "s1")
+    orch.launch_instance(NAT, "s1")
+    sim.run(until=10.0)
+    monitor.stop()
+    assert monitor.latest.free_cores["s1"] == 32 - 4 - 2
+    assert monitor.latest.instance_count == 2
+    assert monitor.min_free_cores() == 26
+    assert seen == monitor.history
+    assert monitor.report_for_engine() == {"s1": 26}
+
+
+def test_monitor_history_bounded():
+    sim, orch = _orchestrated()
+    monitor = ResourceMonitor(sim, orch, interval=0.1, history_limit=10)
+    monitor.start()
+    sim.run(until=10.0)
+    assert len(monitor.history) == 10
+
+
+def test_monitor_validation():
+    sim, orch = _orchestrated()
+    with pytest.raises(ValueError):
+        ResourceMonitor(sim, orch, interval=0.0)
+    with pytest.raises(ValueError):
+        ResourceMonitor(sim, orch, history_limit=0)
+    fresh = ResourceMonitor(sim, orch)
+    with pytest.raises(ValueError):
+        fresh.min_free_cores()
+
+
+# ---------------------------------------------------------------------------
+# compare_greedy
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload():
+    topo = internet2()
+    router = Router(topo)
+    builder = ClassBuilder(
+        router, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0
+    )
+    classes = builder.build(gravity_matrix(topo, 8000.0, seed=0))
+    return classes, {s: 64 for s in topo.switches}
+
+
+def test_compare_greedy_never_worse(workload):
+    classes, cores = workload
+    plain = OptimizationEngine(
+        config=EngineConfig(compare_greedy=False)
+    ).place(classes, cores)
+    best = OptimizationEngine(
+        config=EngineConfig(compare_greedy=True)
+    ).place(classes, cores)
+    assert best.total_instances() <= plain.total_instances()
+    assert not best.validate(cores)
+
+
+def test_compare_greedy_beats_or_ties_greedy(workload):
+    classes, cores = workload
+    greedy = greedy_placement(classes, cores)
+    best = OptimizationEngine(
+        config=EngineConfig(compare_greedy=True)
+    ).place(classes, cores)
+    # Consolidation may improve on raw greedy; never worse than it.
+    assert best.total_instances() <= greedy.total_instances()
+
+
+def test_greedy_headroom():
+    from repro.traffic.classes import TrafficClass
+    from repro.vnf.chains import PolicyChain
+
+    cls = TrafficClass(
+        "c", "a", "b", ("a", "b"), PolicyChain(["firewall"]), 600.0
+    )
+    tight = greedy_placement([cls], {"a": 64, "b": 64}, capacity_headroom=1.0)
+    slack = greedy_placement([cls], {"a": 64, "b": 64}, capacity_headroom=0.5)
+    assert tight.total_instances() == 1
+    assert slack.total_instances() == 2  # 600 > 0.5 * 900

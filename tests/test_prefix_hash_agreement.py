@@ -1,0 +1,68 @@
+"""Cross-validation: the two sub-class realisations agree (Sec. V-A).
+
+Consistent hashing assigns a flow to the sub-class whose hash interval
+contains it; the prefix method matches the flow's source address against
+the sub-class's CIDR rules.  For suffix-based hashing (host bits of the
+class block as the hash), both mechanisms must classify every address in
+the block identically — up to the one-address rounding at fraction
+boundaries.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classify.rules import parse_prefix
+from repro.classify.split import SubclassSplit
+from repro.dataplane.flowhash import suffix_hash
+
+BLOCK = "10.7.3.0/24"
+BLOCK_LO, BLOCK_HI = parse_prefix(BLOCK)
+BLOCK_SIZE = BLOCK_HI - BLOCK_LO + 1
+
+
+def _prefix_member(split: SubclassSplit, sub: int, addr: int) -> bool:
+    for prefix in split.prefixes(sub):
+        lo, hi = parse_prefix(prefix)
+        if lo <= addr <= hi:
+            return True
+    return False
+
+
+@given(
+    st.lists(st.floats(0.05, 5.0), min_size=1, max_size=6),
+    st.integers(0, 255),
+)
+@settings(max_examples=120, deadline=None)
+def test_hash_and_prefix_realisations_agree(weights, host_byte):
+    split = SubclassSplit.from_weights(BLOCK, weights)
+    addr = BLOCK_LO + host_byte
+    h = suffix_hash({"src_ip": addr}, class_prefix_len=24)
+    hash_sub = split.subclass_of_hash(h)
+
+    prefix_subs = [
+        i for i in range(split.num_subclasses) if _prefix_member(split, i, addr)
+    ]
+    # Every address belongs to exactly one sub-class under the prefix rules.
+    assert len(prefix_subs) == 1
+    # The two realisations agree except within one address of a boundary
+    # (fraction_to_prefixes rounds interval edges to whole addresses).
+    if prefix_subs[0] != hash_sub:
+        lo, hi = split.hash_range(hash_sub)
+        dist = min(abs(h - b) for b in (lo, hi))
+        assert dist <= 1.5 / BLOCK_SIZE, (
+            f"disagreement away from a boundary: hash->{hash_sub}, "
+            f"prefix->{prefix_subs[0]} at h={h}"
+        )
+
+
+@given(st.lists(st.floats(0.05, 5.0), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_prefix_rules_partition_block(weights):
+    """The union of all sub-class prefixes tiles the block exactly once."""
+    split = SubclassSplit.from_weights(BLOCK, weights)
+    coverage = [0] * BLOCK_SIZE
+    for i in range(split.num_subclasses):
+        for prefix in split.prefixes(i):
+            lo, hi = parse_prefix(prefix)
+            for a in range(lo, hi + 1):
+                coverage[a - BLOCK_LO] += 1
+    assert all(c == 1 for c in coverage)

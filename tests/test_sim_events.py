@@ -1,0 +1,82 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, ("c",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    while q:
+        q.pop().fire()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_time_events_fire_in_scheduling_order():
+    q = EventQueue()
+    fired = []
+    for label in "abcde":
+        q.push(1.0, fired.append, (label,))
+    while q:
+        q.pop().fire()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_sequence():
+    q = EventQueue()
+    fired = []
+    q.push(1.0, fired.append, ("low",), priority=5)
+    q.push(1.0, fired.append, ("high",), priority=-5)
+    while q:
+        q.pop().fire()
+    assert fired == ["high", "low"]
+
+
+def test_cancelled_event_does_not_fire():
+    q = EventQueue()
+    fired = []
+    ev = q.push(1.0, fired.append, ("x",))
+    ev.cancel()
+    assert ev.cancelled
+    while q:
+        q.pop().fire()
+    assert fired == []
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    ev1.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.peek_time()
+    ev = q.push(1.0, lambda: None)
+    ev.cancel()
+    with pytest.raises(IndexError):
+        q.peek_time()
+
+
+def test_clear_drops_everything():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert not q
+
+
+def test_event_args_passed_through():
+    q = EventQueue()
+    got = []
+    q.push(1.0, lambda a, b: got.append((a, b)), (1, "two"))
+    q.pop().fire()
+    assert got == [(1, "two")]

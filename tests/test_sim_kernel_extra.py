@@ -1,0 +1,86 @@
+"""Additional kernel/cloud edge-case tests."""
+
+import pytest
+
+from repro.cloud.opendaylight import OpenDaylight
+from repro.cloud.openstack import OpenStack
+from repro.cloud.hypervisor import XenHypervisor
+from repro.sim.kernel import drain, SimulationError, Simulator
+
+
+def test_drain_runs_chunks_in_order():
+    sim = Simulator()
+    seen = []
+    for t in (0.5, 1.5, 2.5):
+        sim.schedule(t, lambda t=t: seen.append(t))
+    drain(sim, [1.0, 2.0, 3.0])
+    assert seen == [0.5, 1.5, 2.5]
+    assert sim.now == 3.0
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield 1.0
+        raise RuntimeError("boom")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run_all()
+
+
+def test_event_ordering_with_zero_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.0, lambda: seen.append("a"))
+    sim.schedule(0.0, lambda: seen.append("b"))
+    sim.run_all()
+    assert seen == ["a", "b"]
+
+
+def test_odl_port_info_fields():
+    sim = Simulator()
+    odl = OpenDaylight(sim)
+    got = []
+    odl.prepare_networking("ovs-s1", got.append)
+    sim.run_all()
+    info = got[0]
+    assert info.vswitch == "ovs-s1"
+    assert info.port_id.startswith("ovs-s1-port")
+    assert len(info.mac.split(":")) == 6
+    assert info.prepared_at == pytest.approx(2.3, abs=0.01)
+
+
+def test_odl_ports_unique():
+    sim = Simulator()
+    odl = OpenDaylight(sim)
+    got = []
+    for _ in range(5):
+        odl.prepare_networking("ovs-s1", got.append)
+    sim.run_all()
+    ids = [p.port_id for p in got]
+    macs = [p.mac for p in got]
+    assert len(set(ids)) == 5
+    assert len(set(macs)) == 5
+
+
+def test_openstack_jitter_validation():
+    sim = Simulator()
+    odl = OpenDaylight(sim)
+    hyp = XenHypervisor(sim)
+    with pytest.raises(ValueError):
+        OpenStack(sim, odl, hyp, jitter=1.5)
+
+
+def test_openstack_timeline_steps_ordered():
+    sim = Simulator(seed=7)
+    odl = OpenDaylight(sim)
+    stack = OpenStack(sim, odl, XenHypervisor(sim))
+    out = []
+    stack.boot_vm(1, True, "ovs", lambda vm, tl: out.append(tl))
+    sim.run_all()
+    tl = out[0]
+    assert tl.steps[0] == "nova-admitted"
+    assert tl.steps[-1] == "running"
+    assert tl.requested_at <= tl.network_ready_at <= tl.vm_defined_at <= tl.running_at

@@ -1,0 +1,80 @@
+"""Tests for seeded randomness and child-stream derivation."""
+
+from repro.sim.rng import SeededRNG
+
+
+def test_same_seed_same_sequence():
+    a = SeededRNG(42)
+    b = SeededRNG(42)
+    assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = SeededRNG(1)
+    b = SeededRNG(2)
+    assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+
+def test_child_streams_deterministic_and_label_keyed():
+    a = SeededRNG(7).child("tcp")
+    b = SeededRNG(7).child("tcp")
+    c = SeededRNG(7).child("udp")
+    seq_a = [a.uniform() for _ in range(5)]
+    seq_b = [b.uniform() for _ in range(5)]
+    seq_c = [c.uniform() for _ in range(5)]
+    assert seq_a == seq_b
+    assert seq_a != seq_c
+
+
+def test_child_independent_of_creation_order():
+    parent1 = SeededRNG(9)
+    x = parent1.child("x")
+    y = parent1.child("y")
+    parent2 = SeededRNG(9)
+    y2 = parent2.child("y")
+    x2 = parent2.child("x")
+    assert [x.uniform() for _ in range(3)] == [x2.uniform() for _ in range(3)]
+    assert [y.uniform() for _ in range(3)] == [y2.uniform() for _ in range(3)]
+
+
+def test_integer_bounds():
+    rng = SeededRNG(0)
+    values = [rng.integer(3, 7) for _ in range(200)]
+    assert all(3 <= v < 7 for v in values)
+    assert set(values) == {3, 4, 5, 6}
+
+
+def test_exponential_mean_roughly_right():
+    rng = SeededRNG(0)
+    n = 5000
+    mean = sum(rng.exponential(2.0) for _ in range(n)) / n
+    assert 1.8 < mean < 2.2
+
+
+def test_choice_scalar_and_list():
+    rng = SeededRNG(0)
+    items = ["a", "b", "c"]
+    assert rng.choice(items) in items
+    picked = rng.choice(items, size=10)
+    assert len(picked) == 10
+    assert all(p in items for p in picked)
+
+
+def test_choice_without_replacement_unique():
+    rng = SeededRNG(0)
+    picked = rng.choice(list(range(10)), size=10, replace=False)
+    assert sorted(picked) == list(range(10))
+
+
+def test_shuffle_permutes_in_place():
+    rng = SeededRNG(3)
+    items = list(range(20))
+    rng.shuffle(items)
+    assert sorted(items) == list(range(20))
+
+
+def test_array_shape_and_range():
+    rng = SeededRNG(0)
+    arr = rng.array((4, 5), low=2.0, high=3.0)
+    assert arr.shape == (4, 5)
+    assert ((arr >= 2.0) & (arr < 3.0)).all()

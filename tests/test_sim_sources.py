@@ -1,0 +1,104 @@
+"""Tests for packet sources and the rate meter."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.sources import CBRSource, OnOffSource, PoissonSource, RateMeter
+
+
+def _sink():
+    received = []
+    return received, lambda size, now: received.append((size, now))
+
+
+def test_cbr_emits_at_configured_rate():
+    sim = Simulator()
+    received, consume = _sink()
+    src = CBRSource(sim, consume, rate_pps=100.0, packet_size=500)
+    src.start()
+    sim.run(until=1.0)
+    # One packet at t=0 then every 10 ms.
+    assert 99 <= len(received) <= 101
+    assert all(size == 500 for size, _ in received)
+    assert src.bytes_sent == src.packets_sent * 500
+
+
+def test_cbr_set_rate_takes_effect():
+    sim = Simulator()
+    received, consume = _sink()
+    src = CBRSource(sim, consume, rate_pps=10.0)
+    src.start()
+    sim.run(until=1.0)
+    before = len(received)
+    src.set_rate(1000.0)
+    sim.run(until=2.0)
+    after = len(received) - before
+    assert after > before * 10
+
+
+def test_cbr_stop_and_restart():
+    sim = Simulator()
+    received, consume = _sink()
+    src = CBRSource(sim, consume, rate_pps=100.0)
+    src.start()
+    sim.run(until=0.5)
+    src.stop()
+    assert not src.running
+    mid = len(received)
+    sim.run(until=1.0)
+    assert len(received) == mid
+    src.start()
+    sim.run(until=1.5)
+    assert len(received) > mid
+
+
+def test_cbr_rejects_bad_params():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        CBRSource(sim, lambda s, t: None, rate_pps=0.0)
+    with pytest.raises(SimulationError):
+        CBRSource(sim, lambda s, t: None, rate_pps=10.0, packet_size=0)
+    src = CBRSource(sim, lambda s, t: None, rate_pps=10.0)
+    with pytest.raises(SimulationError):
+        src.set_rate(-1.0)
+
+
+def test_poisson_mean_rate():
+    sim = Simulator(seed=1)
+    received, consume = _sink()
+    src = PoissonSource(sim, consume, rate_pps=500.0)
+    src.start()
+    sim.run(until=4.0)
+    rate = len(received) / 4.0
+    assert 450 <= rate <= 550
+
+
+def test_onoff_is_bursty_but_bounded():
+    sim = Simulator(seed=2)
+    received, consume = _sink()
+    src = OnOffSource(sim, consume, rate_pps=1000.0, mean_on=0.5, mean_off=0.5)
+    src.start()
+    sim.run(until=10.0)
+    # Duty cycle ~50%: well below the full-rate count, well above zero.
+    assert 1000 < len(received) < 9000
+
+
+def test_rate_meter_tracks_rate():
+    sim = Simulator()
+    meter = RateMeter(sim, window=0.5)
+    src = CBRSource(sim, meter.consume, rate_pps=200.0)
+    src.start()
+    sim.run(until=2.0)
+    assert 180 <= meter.rate_pps() <= 220
+    src.stop()
+    sim.run(until=3.0)
+    assert meter.rate_pps() == 0.0  # window drained
+
+
+def test_rate_meter_forwards_downstream():
+    sim = Simulator()
+    received, consume = _sink()
+    meter = RateMeter(sim, window=1.0, downstream=consume)
+    meter.consume(100, 0.0)
+    assert received == [(100, 0.0)]
+    assert meter.total_packets == 1

@@ -1,0 +1,148 @@
+"""Tests for traffic classes, policy assignment, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.topology.datasets import internet2
+from repro.topology.routing import Router
+from repro.traffic.classes import (
+    ClassBuilder,
+    hashed_assignment,
+    TrafficClass,
+    uniform_assignment,
+)
+from repro.traffic.diurnal import synthesize_series
+from repro.traffic.gravity import gravity_matrix
+from repro.traffic.replay import replay_series
+from repro.vnf.chains import PolicyChain, STANDARD_CHAINS
+
+
+@pytest.fixture
+def router():
+    return Router(internet2())
+
+
+def _chain(*names):
+    return PolicyChain(list(names))
+
+
+# ---------------------------------------------------------------------------
+# TrafficClass
+# ---------------------------------------------------------------------------
+def test_class_indices_match_paper_functions():
+    cls = TrafficClass(
+        "c1", "a", "c", ("a", "b", "c"), _chain("firewall", "ids"), 10.0
+    )
+    assert cls.path_length == 3  # |P_h|
+    assert cls.chain_length == 2  # |C_h|
+    assert cls.switch_index("b") == 1  # i(P,h,v)
+    assert cls.nf_index("ids") == 1  # i(C,h,n)
+
+
+def test_class_validation():
+    with pytest.raises(ValueError):
+        TrafficClass("c", "a", "c", ("b", "c"), _chain("nat"), 1.0)  # src mismatch
+    with pytest.raises(ValueError):
+        TrafficClass("c", "a", "b", ("a", "b"), _chain("nat"), -1.0)
+    with pytest.raises(ValueError):
+        TrafficClass("c", "a", "b", ("a", "b"), _chain("nat"), 1.0, share=0.0)
+
+
+def test_with_rate_preserves_structure():
+    cls = TrafficClass("c", "a", "b", ("a", "b"), _chain("nat"), 1.0)
+    clone = cls.with_rate(9.0)
+    assert clone.rate_mbps == 9.0
+    assert clone.path == cls.path and clone.chain == cls.chain
+
+
+# ---------------------------------------------------------------------------
+# ClassBuilder
+# ---------------------------------------------------------------------------
+def test_builder_one_class_per_pair_chain(router):
+    tm = gravity_matrix(internet2(), 1000.0, seed=0)
+    builder = ClassBuilder(router, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=0.1)
+    classes = builder.build(tm)
+    assert classes
+    ids = [c.class_id for c in classes]
+    assert len(ids) == len(set(ids))
+    for c in classes:
+        assert c.path == router.path(c.src, c.dst)
+        assert c.chain in STANDARD_CHAINS
+
+
+def test_builder_min_rate_filters(router):
+    tm = gravity_matrix(internet2(), 1000.0, seed=0)
+    all_classes = ClassBuilder(router, hashed_assignment(STANDARD_CHAINS)).build(tm)
+    filtered = ClassBuilder(
+        router, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=10.0
+    ).build(tm)
+    assert len(filtered) < len(all_classes)
+    assert all(c.rate_mbps > 10.0 for c in filtered)
+
+
+def test_uniform_assignment_splits_shares(router):
+    chains = [STANDARD_CHAINS[0], STANDARD_CHAINS[1]]
+    tm = gravity_matrix(internet2(), 1000.0, seed=0)
+    classes = ClassBuilder(router, uniform_assignment(chains), min_rate_mbps=1.0).build(tm)
+    by_pair = {}
+    for c in classes:
+        by_pair.setdefault((c.src, c.dst), []).append(c)
+    for pair, group in by_pair.items():
+        assert len(group) == 2
+        assert abs(sum(g.share for g in group) - 1.0) < 1e-9
+
+
+def test_bad_shares_rejected(router):
+    def broken(src, dst):
+        return [(STANDARD_CHAINS[0], 0.7)]  # does not sum to 1
+
+    tm = gravity_matrix(internet2(), 1000.0, seed=0)
+    with pytest.raises(ValueError):
+        ClassBuilder(router, broken, min_rate_mbps=1.0).build(tm)
+
+
+def test_hashed_assignment_is_deterministic():
+    assign = hashed_assignment(STANDARD_CHAINS)
+    first = assign("ATLA", "CHIN")
+    again = assign("ATLA", "CHIN")
+    assert first == again
+
+
+def test_rebuild_rates(router):
+    tm1 = gravity_matrix(internet2(), 1000.0, seed=0)
+    tm2 = tm1.scaled(2.0)
+    builder = ClassBuilder(router, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0)
+    classes = builder.build(tm1)
+    rescaled = builder.rebuild_rates(classes, tm2)
+    for old, new in zip(classes, rescaled):
+        assert abs(new.rate_mbps - 2 * old.rate_mbps) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+def test_replay_timeline_consistency(router):
+    topo = internet2()
+    series = synthesize_series(topo, 2000.0, snapshots=6, seed=0)
+    builder = ClassBuilder(router, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0)
+    timeline = replay_series(builder, series)
+    assert timeline.num_snapshots == 6
+    assert timeline.rates.shape == (6, len(timeline.classes))
+    # Snapshot classes carry the snapshot's rates.
+    snap2 = timeline.snapshot_classes(2)
+    for j, c in enumerate(snap2):
+        assert c.rate_mbps == pytest.approx(float(timeline.rates[2, j]))
+    # Per-class series lookup.
+    cid = timeline.classes[0].class_id
+    assert np.allclose(timeline.class_rate_series(cid), timeline.rates[:, 0])
+    with pytest.raises(KeyError):
+        timeline.class_rate_series("nope")
+
+
+def test_replay_iterates_in_order(router):
+    topo = internet2()
+    series = synthesize_series(topo, 2000.0, snapshots=4, interval=30.0, seed=0)
+    builder = ClassBuilder(router, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0)
+    timeline = replay_series(builder, series)
+    times = [t for t, _ in timeline.iter_snapshots()]
+    assert times == [0.0, 30.0, 60.0, 90.0]

@@ -1,0 +1,115 @@
+"""Tests for the deployment verifier, flow traces, and failure sweep."""
+
+import pytest
+
+from repro.core.controller import AppleController
+from repro.core.verify import verify_deployment
+from repro.experiments import failure_sweep
+from repro.topology.datasets import internet2
+from repro.topology.routing import Router
+from repro.traffic.classes import hashed_assignment
+from repro.traffic.gravity import gravity_matrix
+from repro.traffic.trace import (
+    active_flows,
+    aggregate_to_classes,
+    generate_flows,
+)
+from repro.vnf.chains import STANDARD_CHAINS
+
+
+# ---------------------------------------------------------------------------
+# Deployment verifier
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def deployed():
+    topo = internet2()
+    controller = AppleController(
+        topo, hashed_assignment(STANDARD_CHAINS), min_rate_mbps=1.0
+    )
+    controller.run(gravity_matrix(topo, 8000.0, seed=0))
+    return topo, controller
+
+
+def test_verifier_passes_clean_deployment(deployed):
+    topo, controller = deployed
+    report = verify_deployment(controller.deployment, topo)
+    assert report.ok, report.summary()
+    assert report.probes_sent > 0
+    assert report.probes_delivered == report.probes_sent
+    assert "OK" in report.summary()
+
+
+def test_verifier_catches_sabotaged_rules(deployed):
+    topo, controller = deployed
+    deployment = controller.deployment
+    # Sabotage: clear one vSwitch's rules so its packets blackhole loudly.
+    victim = next(iter(deployment.rules.vswitch_rules))
+    vsw = deployment.network.vswitches[victim]
+    saved = dict(vsw._rules)
+    vsw._rules = {
+        k: r for k, r in saved.items() if k[1] != sorted(saved)[0][1]
+    }
+    try:
+        with pytest.raises(KeyError):
+            # The walker surfaces missing rules as loud KeyErrors — a
+            # rule-generation bug, not silent packet loss.
+            verify_deployment(deployment, topo)
+    finally:
+        vsw._rules = saved
+
+
+def test_verifier_flags_core_oversubscription(deployed):
+    topo, controller = deployed
+    deployment = controller.deployment
+    shrunk = internet2(default_host_cores=1)  # absurd budget
+    report = verify_deployment(deployment, shrunk)
+    assert not report.ok
+    assert report.by_kind().get("isolation", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Flow traces
+# ---------------------------------------------------------------------------
+def test_generate_flows_matches_matrix_rate():
+    topo = internet2()
+    matrix = gravity_matrix(topo, 5000.0, seed=1)
+    flows = generate_flows(matrix, duration=200.0, seed=1)
+    assert flows
+    # Average carried rate across the horizon tracks the matrix total.
+    carried = sum(f.rate_mbps * f.duration for f in flows) / 200.0
+    assert 0.5 * matrix.total() < carried < 2.0 * matrix.total()
+    assert flows == sorted(flows, key=lambda f: f.start)
+
+
+def test_aggregation_collapses_flows():
+    topo = internet2()
+    router = Router(topo)
+    matrix = gravity_matrix(topo, 5000.0, seed=1)
+    flows = generate_flows(matrix, duration=200.0, seed=1)
+    classes, live = aggregate_to_classes(
+        flows, router, hashed_assignment(STANDARD_CHAINS), at=100.0
+    )
+    assert live > len(classes)  # the Sec. IV-A input-size reduction
+    total_class_rate = sum(c.rate_mbps for c in classes)
+    total_flow_rate = sum(f.rate_mbps for f in active_flows(flows, 100.0))
+    assert total_class_rate == pytest.approx(total_flow_rate, rel=1e-9)
+
+
+def test_generate_flows_validation():
+    topo = internet2()
+    matrix = gravity_matrix(topo, 100.0, seed=0)
+    with pytest.raises(ValueError):
+        generate_flows(matrix, duration=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Failure sweep
+# ---------------------------------------------------------------------------
+def test_failure_sweep_quick():
+    result = failure_sweep.run(quick=True)
+    rows = {r[0]: r for r in result.rows}
+    assert 0 in rows and 2 in rows
+    # Failover strictly improves once something has failed.
+    assert rows[2][2] < rows[2][1]
+    # Loss grows with failures when failover is off.
+    assert rows[2][1] > rows[0][1]
