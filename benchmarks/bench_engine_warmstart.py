@@ -1,0 +1,117 @@
+"""Warm-start engine benchmarks: cold vs warm ``place()`` and parallel replay.
+
+Two acceptance targets of the warm-start/vectorization work:
+
+* a warm re-solve (cached :class:`PlacementTemplate`, rate-only rewrite)
+  is at least 3x faster than a cold ``place()`` on GEANT;
+* a Fig. 12-style replay (120 snapshots over the three LP-scale
+  topologies) is at least 2x faster with ``jobs=4`` than serially.
+
+Both measurements are appended to the ``BENCH_engine.json`` trajectory at
+the repo root via the ``record_bench`` fixture, together with the engine's
+internal perf spans (template build, warm solve, rate update).
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.experiments import fig12
+from repro.experiments.harness import standard_setup
+from repro.perf import REGISTRY
+
+#: Timing repetitions for the cold/warm comparison (min-of-N).
+REPEATS = 7
+
+
+def test_warm_vs_cold_place_geant(record_bench):
+    _topo, controller, series = standard_setup("geant", snapshots=REPEATS + 1)
+    cores = controller.available_cores()
+    class_sets = [controller.build_classes(m) for m in series.snapshots]
+
+    # Warm-up solve: first-call scipy/HiGHS overhead is not the engine's.
+    controller.engine.place(class_sets[0], cores)
+    REGISTRY.reset()
+
+    cold = []
+    for classes in class_sets[1:]:
+        controller.engine.clear_templates()
+        started = time.perf_counter()
+        plan = controller.engine.place(classes, cores)
+        cold.append(time.perf_counter() - started)
+        assert not plan.warm_start
+
+    controller.engine.clear_templates()
+    controller.engine.place(class_sets[0], cores)  # build the template once
+    warm = []
+    for classes in class_sets[1:]:
+        started = time.perf_counter()
+        plan = controller.engine.place(classes, cores)
+        warm.append(time.perf_counter() - started)
+        assert plan.warm_start
+
+    speedup_min = min(cold) / min(warm)
+    speedup_median = statistics.median(cold) / statistics.median(warm)
+    record_bench(
+        "engine_warm_vs_cold_geant",
+        {
+            "repeats": REPEATS,
+            "cold_place_min_s": round(min(cold), 5),
+            "cold_place_median_s": round(statistics.median(cold), 5),
+            "warm_place_min_s": round(min(warm), 5),
+            "warm_place_median_s": round(statistics.median(warm), 5),
+            "speedup_min": round(speedup_min, 2),
+            "speedup_median": round(speedup_median, 2),
+            "template_build_min_s": round(
+                REGISTRY.stats("engine.template_build").min_seconds, 5
+            ),
+            "warm_solve_min_s": round(
+                REGISTRY.stats("engine.warm_solve").min_seconds, 5
+            ),
+            "rate_update_min_s": round(
+                REGISTRY.stats("engine.rate_update").min_seconds, 5
+            ),
+        },
+    )
+    assert speedup_min >= 3.0, (
+        f"warm re-solve only {speedup_min:.2f}x faster than cold place()"
+    )
+
+
+def test_parallel_replay_speedup(record_bench):
+    kwargs = dict(topologies=("internet2", "geant", "univ1"), snapshots=120)
+
+    started = time.perf_counter()
+    serial = fig12.run(**kwargs)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = fig12.run(jobs=4, **kwargs)
+    parallel_s = time.perf_counter() - started
+
+    # Same rows in the same order: the fan-out must not change results.
+    assert parallel.rows == serial.rows
+
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    record_bench(
+        "fig12_replay_fanout",
+        {
+            "topologies": len(kwargs["topologies"]),
+            "snapshots": kwargs["snapshots"],
+            "host_cores": cores,
+            "serial_s": round(serial_s, 2),
+            "jobs4_s": round(parallel_s, 2),
+            "speedup": round(speedup, 2),
+        },
+    )
+    if cores < 2:
+        pytest.skip(
+            f"single-core host: fan-out measured {speedup:.2f}x "
+            "(pool overhead only; the >=2x target needs >=2 cores)"
+        )
+    assert speedup >= 2.0, (
+        f"jobs=4 replay only {speedup:.2f}x faster than serial"
+    )

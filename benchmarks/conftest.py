@@ -1,6 +1,18 @@
-"""Shared benchmark fixtures and result reporting."""
+"""Shared benchmark fixtures: result reporting and the perf trajectory.
+
+``record_bench`` appends measurements to ``BENCH_engine.json`` at the repo
+root.  The file is a *trajectory*: a JSON list that grows by one entry per
+recorded benchmark run, so successive commits can be compared without
+re-running history.
+"""
+
+import json
+import time
+from pathlib import Path
 
 import pytest
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def report(result) -> None:
@@ -12,3 +24,22 @@ def report(result) -> None:
 @pytest.fixture(scope="session")
 def print_result():
     return report
+
+
+def _append_bench(name: str, payload: dict) -> None:
+    entries = []
+    if BENCH_FILE.exists():
+        try:
+            entries = json.loads(BENCH_FILE.read_text())
+        except (ValueError, OSError):
+            entries = []
+        if not isinstance(entries, list):
+            entries = [entries]
+    entries.append({"bench": name, "unix_time": round(time.time(), 1), **payload})
+    BENCH_FILE.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Append ``{bench: name, ...payload}`` to the BENCH_engine.json trajectory."""
+    return _append_bench

@@ -13,18 +13,35 @@ Formulation notes:
   elsewhere the portion is identically zero.
 * q variables exist only for (switch, NF) pairs some class can actually
   use, keeping the model sparse.
+
+Warm-start architecture (the re-solve hot path):
+
+Between traffic snapshots only the class rates T_h change — topology,
+paths, chains, and host sets are identical.  ``place()`` therefore splits
+into a *structure phase* that builds variables, the rate-independent
+constraints, and the compiled sparse matrices (cached in a
+:class:`PlacementTemplate`, keyed by the class/host/catalog structure) and
+a *per-snapshot phase* that only rewrites the rate coefficients of the
+Eq. 5 capacity rows in place (:meth:`PlacementTemplate.set_rates`) before
+re-solving.  A 672-snapshot replay compiles the model once, not 672 times,
+and warm re-solves are bit-identical to cold solves because both run the
+same solve code over the same matrices.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro import perf
 from repro.core.placement import PlacementPlan
 from repro.solver.branch_bound import solve_branch_bound
 from repro.solver.lp import solve_lp, SolverError
-from repro.solver.model import LinExpr, Model
+from repro.solver.model import CompiledModel, Constraint, LinExpr, Model, Variable
 from repro.solver.rounding import solve_with_rounding
 from repro.traffic.classes import TrafficClass
 from repro.vnf.types import DEFAULT_CATALOG, NFTypeCatalog
@@ -60,6 +77,13 @@ class EngineConfig:
             pure LP-relaxation methodology.
         dust_threshold: a single-instance slot is "dust" when its load is
             below this fraction of one instance's capacity.
+        warm_start: reuse cached :class:`PlacementTemplate` structures when
+            consecutive ``place()`` calls share the same class/host
+            structure (snapshot replay, periodic reoptimization).  Warm
+            re-solves produce plans identical to cold solves; disable only
+            to benchmark the cold path.
+        template_cache_size: LRU capacity of the engine's template cache
+            (one entry per distinct class/host structure).
     """
 
     solver: str = "rounding"
@@ -69,10 +93,103 @@ class EngineConfig:
     dust_threshold: float = 0.6
     capacity_headroom: float = 1.0
     compare_greedy: bool = False
+    warm_start: bool = True
+    template_cache_size: int = 4
 
     def __post_init__(self) -> None:
         if self.solver not in ("rounding", "exact"):
             raise ValueError(f"unknown solver {self.solver!r}")
+        if self.template_cache_size < 1:
+            raise ValueError("template_cache_size must be at least 1")
+
+
+@dataclass
+class PlacementTemplate:
+    """The structure phase of one placement instance, ready to re-solve.
+
+    Holds the model, its compiled matrices, and the variable bookkeeping
+    for a fixed (class structure, hosts, catalog, config) key.  Rates are
+    the only snapshot-dependent input; :meth:`set_rates` rewrites them in
+    place on both the :class:`~repro.solver.model.Model` expressions and
+    the cached :class:`~repro.solver.model.CompiledModel` so every solver
+    path (LP ceiling, rounding fallback, branch-and-bound) sees the new
+    snapshot without a recompile.
+    """
+
+    key: tuple
+    model: Model
+    compiled: CompiledModel
+    d_vars: Dict[Tuple[str, int, int], Variable]
+    q_vars: Dict[Tuple[str, str], Variable]
+    #: Sorted (switch, nf) slots, indexing the vectorized load arrays.
+    slots: List[Tuple[str, str]]
+    #: Per slot: the (class index, d variable) pairs loading it.
+    load_members: Dict[Tuple[str, str], List[Tuple[int, Variable]]]
+    #: Constraint index (into ``model.constraints``) of each Eq. 5 row.
+    cap_rows: Dict[Tuple[str, str], int]
+    #: Constraint index of each Eq. 6 core-budget row, per switch.
+    resource_rows: Dict[str, int]
+    #: False when the compiled sparsity pattern cannot absorb new rates
+    #: (a rate compiled to exactly zero); such templates are single-shot.
+    reusable: bool = True
+    solves: int = 0
+    # Vectorized helpers, filled by the builder ------------------------
+    _rate_positions: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _rate_class_idx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _expr_updates: List[Tuple[Dict[int, float], int, int]] = field(
+        default_factory=list, repr=False
+    )
+    _member_slot_idx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _member_var_idx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _member_class_idx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _d_keys: List[Tuple[str, int, int]] = field(default_factory=list, repr=False)
+    _d_idx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _rates: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    #: Renormalisation group (one per class × chain step) of each d var.
+    _d_group: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _n_groups: int = 0
+    # Per-slot datasheet arrays (aligned with ``slots``) and the switch
+    # universe, for the vectorized ceiling/budget accounting.
+    _slot_cap: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _slot_cores: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _slot_mem: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _slot_switch: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _switch_names: List[str] = field(default_factory=list, repr=False)
+    _q_idx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    def set_rates(self, classes: Sequence[TrafficClass]) -> None:
+        """Rewrite the rate-dependent coefficients for a new snapshot.
+
+        Updates the Eq. 5 capacity rows in both the model expressions and
+        the compiled matrix data (one vectorized scatter); everything else
+        in the model is rate-independent.
+        """
+        rates = np.fromiter(
+            (c.rate_mbps for c in classes), dtype=float, count=len(classes)
+        )
+        self._rates = rates
+        if not self.reusable:
+            # Coefficients were embedded at build time and cannot be
+            # rewritten through the sparsity pattern; the template is only
+            # valid for the rates it was built with.
+            return
+        self.compiled.set_ub_coefficients(
+            self._rate_positions, rates[self._rate_class_idx]
+        )
+        for coeffs, var_index, cls_idx in self._expr_updates:
+            coeffs[var_index] = rates[cls_idx]
+
+    def slot_loads(self, solution: np.ndarray) -> np.ndarray:
+        """L_vn per slot under an LP solution (vectorized Eq. 5 left side)."""
+        if not len(self.slots):
+            return np.zeros(0)
+        weights = (
+            self._rates[self._member_class_idx] * solution[self._member_var_idx]
+        )
+        return np.bincount(
+            self._member_slot_idx, weights=weights, minlength=len(self.slots)
+        )
 
 
 class OptimizationEngine:
@@ -80,6 +197,8 @@ class OptimizationEngine:
 
     Args:
         catalog: NF datasheets (capacities Cap_n, resource vectors R_n).
+            Treated as immutable: templates cache coefficients derived from
+            it.
         config: solver configuration.
     """
 
@@ -90,6 +209,33 @@ class OptimizationEngine:
     ) -> None:
         self.catalog = catalog
         self.config = config or EngineConfig()
+        #: LRU of reusable templates keyed by structure.
+        self._templates: "OrderedDict[tuple, PlacementTemplate]" = OrderedDict()
+        #: Telemetry: structure builds vs warm template reuses.
+        self.cold_builds = 0
+        self.warm_solves = 0
+
+    # ------------------------------------------------------------------
+    def clear_templates(self) -> None:
+        """Drop all cached templates (force cold solves)."""
+        self._templates.clear()
+
+    def make_template(
+        self,
+        classes: Sequence[TrafficClass],
+        available_cores: Mapping[str, int],
+        available_memory_gb: Optional[Mapping[str, float]] = None,
+    ) -> PlacementTemplate:
+        """Run only the structure phase; pass the result to :meth:`place`.
+
+        Useful when the caller manages template lifetime itself (e.g. one
+        template per topology in a long replay); :meth:`place` also keeps
+        an internal LRU, so most callers never need this.
+        """
+        classes = [self._clamped(c) for c in classes]
+        self._check_paths(classes, available_cores)
+        key = self._structure_key(classes, available_cores, available_memory_gb)
+        return self._build_template(classes, available_cores, available_memory_gb, key)
 
     # ------------------------------------------------------------------
     def place(
@@ -97,6 +243,7 @@ class OptimizationEngine:
         classes: Sequence[TrafficClass],
         available_cores: Mapping[str, int],
         available_memory_gb: Optional[Mapping[str, float]] = None,
+        template: Optional[PlacementTemplate] = None,
     ) -> PlacementPlan:
         """Solve the placement problem for ``classes``.
 
@@ -107,121 +254,85 @@ class OptimizationEngine:
             available_memory_gb: optional second dimension of A_v; when
                 given, Eq. 6 is enforced per resource type (R_n is the
                 (cores, memory) vector of each NF).
+            template: an explicit :class:`PlacementTemplate` from
+                :meth:`make_template`; must match this instance's
+                structure.  When omitted and ``config.warm_start`` is on,
+                the engine's internal cache supplies one automatically.
 
         Raises:
-            PlacementError: a class's path has no APPLE host, or the model
-                is infeasible (insufficient capacity anywhere).
+            PlacementError: a class's path has no APPLE host, the model is
+                infeasible (insufficient capacity anywhere), or an explicit
+                template does not match the instance structure.
         """
         started = time.perf_counter()
         classes = [self._clamped(c) for c in classes]
         self._check_paths(classes, available_cores)
+        key = self._structure_key(classes, available_cores, available_memory_gb)
 
-        model = Model("apple-placement")
-        # d variables, created lazily only at host positions -------------
-        d_vars: Dict[Tuple[str, int, int], object] = {}
-        # load_terms[(v, n)] collects (T_h, d_var) for capacity constraints
-        load_terms: Dict[Tuple[str, str], List[Tuple[float, object]]] = {}
-
-        for cls in classes:
-            host_positions = [
-                i for i, sw in enumerate(cls.path) if available_cores.get(sw, 0) > 0
-            ]
-            for j, nf in enumerate(cls.chain):
-                for i in host_positions:
-                    var = model.add_var(f"d[{cls.class_id},{i},{j}]", lb=0.0, ub=1.0)
-                    d_vars[(cls.class_id, i, j)] = var
-                    key = (cls.path[i], nf)
-                    load_terms.setdefault(key, []).append((cls.rate_mbps, var))
-
-            # Eq. 4: every chain step processes 100% of the class.
-            for j in range(cls.chain_length):
-                step_vars = [d_vars[(cls.class_id, i, j)] for i in host_positions]
-                model.add_constraint(
-                    LinExpr.total(step_vars).eq(1.0),
-                    name=f"complete[{cls.class_id},{j}]",
+        warm = False
+        if template is not None:
+            if template.key != key:
+                raise PlacementError(
+                    "placement template does not match this instance "
+                    "(classes/hosts/config changed); build a new template"
                 )
-
-            # Eq. 3 (with σ substituted): cumulative of step j-1 dominates
-            # cumulative of step j at every prefix of the path.
-            for j in range(1, cls.chain_length):
-                for stop in range(len(host_positions) - 1):
-                    prefix = host_positions[: stop + 1]
-                    expr = LinExpr.total(
-                        [(1.0, d_vars[(cls.class_id, i, j - 1)]) for i in prefix]
-                        + [(-1.0, d_vars[(cls.class_id, i, j)]) for i in prefix]
-                    )
-                    model.add_constraint(
-                        expr >= 0.0, name=f"order[{cls.class_id},{j},{stop}]"
-                    )
-
-        # q variables for used (switch, NF) pairs -------------------------
-        q_vars: Dict[Tuple[str, str], object] = {}
-        for (switch, nf) in sorted(load_terms):
-            q_vars[(switch, nf)] = model.add_var(
-                f"q[{switch},{nf}]", lb=0.0, integer=True
-            )
-
-        # Eq. 5: capacity.
-        for (switch, nf), terms in sorted(load_terms.items()):
-            cap = self._cap(nf)
-            expr = LinExpr.total(terms) - cap * q_vars[(switch, nf)]
-            model.add_constraint(expr <= 0.0, name=f"cap[{switch},{nf}]")
-
-        # Eq. 6: per-switch resources.
-        by_switch: Dict[str, List[Tuple[float, object]]] = {}
-        for (switch, nf), q in q_vars.items():
-            by_switch.setdefault(switch, []).append(
-                (float(self.catalog.get(nf).cores), q)
-            )
-        resource_rows: Dict[str, int] = {}
-        for switch, terms in sorted(by_switch.items()):
-            model.add_constraint(
-                LinExpr.total(terms) <= float(available_cores.get(switch, 0)),
-                name=f"res[{switch}]",
-            )
-            resource_rows[switch] = model.num_constraints - 1
-
-        # Eq. 6, memory dimension (when modelled): Σ mem_n · q ≤ M_v.
-        if available_memory_gb is not None:
-            mem_by_switch: Dict[str, List[Tuple[float, object]]] = {}
-            for (switch, nf), q in q_vars.items():
-                mem_by_switch.setdefault(switch, []).append(
-                    (float(self.catalog.get(nf).memory_gb), q)
+            if template.solves > 0 and not template.reusable:
+                raise PlacementError(
+                    "placement template is single-shot (degenerate sparsity) "
+                    "and was already solved; build a new template"
                 )
-            for switch, terms in sorted(mem_by_switch.items()):
-                model.add_constraint(
-                    LinExpr.total(terms)
-                    <= float(available_memory_gb.get(switch, 0.0)),
-                    name=f"mem[{switch}]",
+            warm = template.solves > 0
+        elif self.config.warm_start:
+            template = self._templates.get(key)
+            if template is not None:
+                self._templates.move_to_end(key)
+                warm = True
+        if template is None:
+            with perf.span("engine.template_build"):
+                template = self._build_template(
+                    classes, available_cores, available_memory_gb, key
                 )
+            if self.config.warm_start and template.reusable:
+                self._templates[key] = template
+                while len(self._templates) > self.config.template_cache_size:
+                    self._templates.popitem(last=False)
+        if warm:
+            self.warm_solves += 1
+        else:
+            self.cold_builds += 1
+        with perf.span("engine.rate_update"):
+            template.set_rates(classes)
+        template.solves += 1
 
-        # Eq. 1: minimise total instance count.
-        model.minimize(LinExpr.total(list(q_vars.values())))
-
-        # Solve ------------------------------------------------------------
+        model, q_vars = template.model, template.q_vars
+        span_name = "engine.warm_solve" if warm else "engine.cold_solve"
         try:
-            if self.config.solver == "exact":
-                bb = solve_branch_bound(model, max_nodes=self.config.max_bb_nodes)
-                if bb.solution is None:
-                    raise PlacementError("exact solver found no feasible placement")
-                solution, objective, lp_bound = bb.solution, bb.objective, bb.objective
-                quantities = {
-                    key: int(round(solution[q.index]))
-                    for key, q in q_vars.items()
-                    if round(solution[q.index]) > 0
-                }
-            else:
-                solution, quantities, objective, lp_bound = self._solve_ceiling(
-                    model,
-                    q_vars,
-                    load_terms,
-                    available_cores,
-                    resource_rows,
-                    available_memory_gb,
-                )
+            with perf.span(span_name):
+                if self.config.solver == "exact":
+                    bb = solve_branch_bound(
+                        model,
+                        max_nodes=self.config.max_bb_nodes,
+                        compiled=template.compiled,
+                    )
+                    if bb.solution is None:
+                        raise PlacementError(
+                            "exact solver found no feasible placement"
+                        )
+                    solution, objective, lp_bound = (
+                        bb.solution, bb.objective, bb.objective,
+                    )
+                    quantities = {
+                        key_: int(round(solution[q.index]))
+                        for key_, q in q_vars.items()
+                        if round(solution[q.index]) > 0
+                    }
+                else:
+                    solution, quantities, objective, lp_bound = self._solve_ceiling(
+                        template, available_cores, available_memory_gb
+                    )
         except SolverError as exc:
             raise PlacementError(f"placement infeasible: {exc}") from exc
-        distribution = self._extract_distribution(classes, d_vars, solution)
+        distribution = self._extract_distribution(classes, template, solution)
         if (
             self.config.compare_greedy
             and self.config.solver == "rounding"
@@ -232,13 +343,8 @@ class OptimizationEngine:
                 quantities, distribution = alt[1], alt[2]
                 objective = float(alt[0])
         if self.config.consolidate:
-            # Cascade: evacuating one slot frees spare that may unlock the
-            # next; repeat until a fixed point (bounded by slot count).
-            for _ in range(4):
-                before = sum(quantities.values())
+            with perf.span("engine.consolidate"):
                 self._consolidate_dust(classes, distribution, quantities)
-                if sum(quantities.values()) == before:
-                    break
             objective = float(sum(quantities.values()))
         return PlacementPlan(
             quantities=quantities,
@@ -248,16 +354,240 @@ class OptimizationEngine:
             objective=float(objective),
             lp_bound=float(lp_bound),
             solve_seconds=time.perf_counter() - started,
+            warm_start=warm,
         )
+
+    # ------------------------------------------------------------------
+    def _structure_key(
+        self,
+        classes: Sequence[TrafficClass],
+        available_cores: Mapping[str, int],
+        available_memory_gb: Optional[Mapping[str, float]],
+    ) -> tuple:
+        """Everything the model structure depends on, except the rates."""
+        class_part = tuple(
+            (c.class_id, c.path, tuple(c.chain)) for c in classes
+        )
+        cores_part = tuple(sorted(
+            (s, int(v)) for s, v in available_cores.items()
+        ))
+        mem_part = (
+            None
+            if available_memory_gb is None
+            else tuple(sorted(
+                (s, float(v)) for s, v in available_memory_gb.items()
+            ))
+        )
+        return (
+            class_part,
+            cores_part,
+            mem_part,
+            self.config.capacity_headroom,
+            id(self.catalog),
+        )
+
+    def _build_template(
+        self,
+        classes: Sequence[TrafficClass],
+        available_cores: Mapping[str, int],
+        available_memory_gb: Optional[Mapping[str, float]],
+        key: tuple,
+    ) -> PlacementTemplate:
+        """The structure phase: variables, constraints, compiled matrices."""
+        model = Model("apple-placement")
+        cons: List[Constraint] = []
+        # d variables, created lazily only at host positions -------------
+        d_vars: Dict[Tuple[str, int, int], Variable] = {}
+        # load_members[(v, n)] collects (class idx, d_var) for Eq. 5 rows
+        load_members: Dict[Tuple[str, str], List[Tuple[int, Variable]]] = {}
+
+        for cls_idx, cls in enumerate(classes):
+            host_positions = [
+                i for i, sw in enumerate(cls.path) if available_cores.get(sw, 0) > 0
+            ]
+            for j, nf in enumerate(cls.chain):
+                for i in host_positions:
+                    var = model.add_var(f"d[{cls.class_id},{i},{j}]", lb=0.0, ub=1.0)
+                    d_vars[(cls.class_id, i, j)] = var
+                    load_members.setdefault((cls.path[i], nf), []).append(
+                        (cls_idx, var)
+                    )
+
+            # Eq. 4: every chain step processes 100% of the class.
+            for j in range(cls.chain_length):
+                step_vars = [d_vars[(cls.class_id, i, j)] for i in host_positions]
+                con = LinExpr.total(step_vars).eq(1.0)
+                con.name = f"complete[{cls.class_id},{j}]"
+                cons.append(con)
+
+            # Eq. 3 (with σ substituted): cumulative of step j-1 dominates
+            # cumulative of step j at every prefix of the path.
+            for j in range(1, cls.chain_length):
+                for stop in range(len(host_positions) - 1):
+                    prefix = host_positions[: stop + 1]
+                    expr = LinExpr.total(
+                        [(1.0, d_vars[(cls.class_id, i, j - 1)]) for i in prefix]
+                        + [(-1.0, d_vars[(cls.class_id, i, j)]) for i in prefix]
+                    )
+                    con = expr >= 0.0
+                    con.name = f"order[{cls.class_id},{j},{stop}]"
+                    cons.append(con)
+
+        # q variables for used (switch, NF) pairs -------------------------
+        slots = sorted(load_members)
+        q_vars: Dict[Tuple[str, str], Variable] = {}
+        for (switch, nf) in slots:
+            q_vars[(switch, nf)] = model.add_var(
+                f"q[{switch},{nf}]", lb=0.0, integer=True
+            )
+
+        # Eq. 5: capacity.  The rate coefficients T_h are the only
+        # snapshot-dependent numbers in the model; set_rates rewrites them.
+        cap_rows: Dict[Tuple[str, str], int] = {}
+        for (switch, nf) in slots:
+            members = load_members[(switch, nf)]
+            cap = self._cap(nf)
+            expr = LinExpr.total(
+                [(classes[ci].rate_mbps, var) for ci, var in members]
+            ) - cap * q_vars[(switch, nf)]
+            con = expr <= 0.0
+            con.name = f"cap[{switch},{nf}]"
+            cap_rows[(switch, nf)] = len(cons)
+            cons.append(con)
+
+        # Eq. 6: per-switch resources.
+        by_switch: Dict[str, List[Tuple[float, Variable]]] = {}
+        for (switch, nf), q in q_vars.items():
+            by_switch.setdefault(switch, []).append(
+                (float(self.catalog.get(nf).cores), q)
+            )
+        resource_rows: Dict[str, int] = {}
+        for switch, terms in sorted(by_switch.items()):
+            con = LinExpr.total(terms) <= float(available_cores.get(switch, 0))
+            con.name = f"res[{switch}]"
+            resource_rows[switch] = len(cons)
+            cons.append(con)
+
+        # Eq. 6, memory dimension (when modelled): Σ mem_n · q ≤ M_v.
+        if available_memory_gb is not None:
+            mem_by_switch: Dict[str, List[Tuple[float, Variable]]] = {}
+            for (switch, nf), q in q_vars.items():
+                mem_by_switch.setdefault(switch, []).append(
+                    (float(self.catalog.get(nf).memory_gb), q)
+                )
+            for switch, terms in sorted(mem_by_switch.items()):
+                con = LinExpr.total(terms) <= float(
+                    available_memory_gb.get(switch, 0.0)
+                )
+                con.name = f"mem[{switch}]"
+                cons.append(con)
+
+        model.add_constraints(cons)
+
+        # Eq. 1: minimise total instance count.
+        model.minimize(LinExpr.total(list(q_vars.values())))
+        compiled = model.compile()
+
+        template = PlacementTemplate(
+            key=key,
+            model=model,
+            compiled=compiled,
+            d_vars=d_vars,
+            q_vars=q_vars,
+            slots=slots,
+            load_members=load_members,
+            cap_rows=cap_rows,
+            resource_rows=resource_rows,
+        )
+        self._index_template(template)
+        return template
+
+    def _index_template(self, template: PlacementTemplate) -> None:
+        """Resolve the rate coefficients' storage slots for bulk rewrites."""
+        positions: List[int] = []
+        class_idx: List[int] = []
+        member_slot: List[int] = []
+        member_var: List[int] = []
+        member_cls: List[int] = []
+        expr_updates: List[Tuple[Dict[int, float], int, int]] = []
+        compiled = template.compiled
+        reusable = True
+        for slot_i, slot in enumerate(template.slots):
+            con_index = template.cap_rows[slot]
+            expr_coeffs = template.model.constraints[con_index].expr.coeffs
+            for cls_i, var in template.load_members[slot]:
+                member_slot.append(slot_i)
+                member_var.append(var.index)
+                member_cls.append(cls_i)
+                try:
+                    _, pos, sign = compiled.coefficient_slot(con_index, var.index)
+                except KeyError:
+                    # A rate compiled to exactly zero and fell out of the
+                    # sparsity pattern; this template cannot take new rates.
+                    reusable = False
+                    continue
+                if sign != 1.0:
+                    reusable = False
+                    continue
+                positions.append(pos)
+                class_idx.append(cls_i)
+                expr_updates.append((expr_coeffs, var.index, cls_i))
+        if len(set(positions)) != len(positions):
+            reusable = False  # aliased storage (duplicate switch on a path)
+        template.reusable = reusable
+        template._rate_positions = np.asarray(positions, dtype=np.intp)
+        template._rate_class_idx = np.asarray(class_idx, dtype=np.intp)
+        template._expr_updates = expr_updates
+        template._member_slot_idx = np.asarray(member_slot, dtype=np.intp)
+        template._member_var_idx = np.asarray(member_var, dtype=np.intp)
+        template._member_class_idx = np.asarray(member_cls, dtype=np.intp)
+        template._d_keys = list(template.d_vars)
+        template._d_idx = np.fromiter(
+            (v.index for v in template.d_vars.values()),
+            dtype=np.intp,
+            count=len(template.d_vars),
+        )
+        # Renormalisation groups: d vars of one (class, chain step) are
+        # created consecutively, so a run-length scan assigns group ids.
+        groups = np.empty(len(template._d_keys), dtype=np.intp)
+        gid = -1
+        prev = None
+        for k, (cid, _i, j) in enumerate(template._d_keys):
+            if (cid, j) != prev:
+                gid += 1
+                prev = (cid, j)
+            groups[k] = gid
+        template._d_group = groups
+        template._n_groups = gid + 1
+        # Per-slot datasheet arrays for the vectorized ceiling rounding.
+        n_slots = len(template.slots)
+        template._slot_cap = np.empty(n_slots)
+        template._slot_cores = np.empty(n_slots)
+        template._slot_mem = np.empty(n_slots)
+        switch_of = {}
+        switch_idx = np.empty(n_slots, dtype=np.intp)
+        for k, (switch, nf_name) in enumerate(template.slots):
+            nf = self.catalog.get(nf_name)
+            template._slot_cap[k] = self._cap(nf_name)
+            template._slot_cores[k] = float(nf.cores)
+            template._slot_mem[k] = float(nf.memory_gb)
+            switch_idx[k] = switch_of.setdefault(switch, len(switch_of))
+        template._slot_switch = switch_idx
+        template._switch_names = list(switch_of)
+        template._q_idx = np.fromiter(
+            (template.q_vars[slot].index for slot in template.slots),
+            dtype=np.intp,
+            count=n_slots,
+        )
+        # Build the solver-native array cache eagerly so its one-time CSC
+        # conversion is charged to the structure phase, not the first solve.
+        compiled.highs_arrays()
 
     # ------------------------------------------------------------------
     def _solve_ceiling(
         self,
-        model: Model,
-        q_vars: Dict[Tuple[str, str], object],
-        load_terms: Dict[Tuple[str, str], List[Tuple[float, object]]],
+        template: PlacementTemplate,
         available_cores: Mapping[str, int],
-        resource_rows: Dict[str, int],
         available_memory_gb: Optional[Mapping[str, float]] = None,
     ):
         """LP relaxation + ceiling rounding with budget-tightening repair.
@@ -272,14 +602,23 @@ class OptimizationEngine:
         a couple of iterations in practice.  If repair fails, fall back to
         generic iterative rounding.
         """
-        import math
-
-        import numpy as np
-
-        compiled = model.compile()
+        model, compiled = template.model, template.compiled
+        q_vars, resource_rows = template.q_vars, template.resource_rows
         budgets = {
             sw: float(available_cores.get(sw, 0)) for sw in resource_rows
         }
+        switch_names = template._switch_names
+        avail_cores_arr = np.fromiter(
+            (float(available_cores.get(sw, 0)) for sw in switch_names),
+            dtype=float,
+            count=len(switch_names),
+        )
+        if available_memory_gb is not None:
+            avail_mem_arr = np.fromiter(
+                (float(available_memory_gb.get(sw, 0.0)) for sw in switch_names),
+                dtype=float,
+                count=len(switch_names),
+            )
         banned_slots: set = set()  # slots whose d vars are forced to zero
         prev_violations: Dict[str, int] = {}
         lp_bound: Optional[float] = None
@@ -297,7 +636,7 @@ class OptimizationEngine:
             if banned_slots:
                 extra_ub = np.full(model.num_variables, np.nan)
                 for slot in banned_slots:
-                    for _t, var in load_terms.get(slot, []):
+                    for _ci, var in template.load_members.get(slot, []):
                         extra_ub[var.index] = 0.0
             lp = solve_lp(
                 model, compiled, b_ub_override=b_ub, extra_upper_bounds=extra_ub
@@ -305,45 +644,44 @@ class OptimizationEngine:
             if lp_bound is None:
                 lp_bound = lp.objective
 
-            quantities: Dict[Tuple[str, str], int] = {}
-            cores_by_switch: Dict[str, int] = {}
-            memory_by_switch: Dict[str, float] = {}
-            for key, terms in load_terms.items():
-                load = sum(t * lp.solution[var.index] for t, var in terms)
-                if load <= 1e-12:
-                    continue
-                nf = self.catalog.get(key[1])
-                count = int(
-                    math.ceil(load / self._cap(key[1]) - 1e-9)
-                )
-                count = max(count, 1)
-                quantities[key] = count
-                cores_by_switch[key[0]] = (
-                    cores_by_switch.get(key[0], 0) + nf.cores * count
-                )
-                memory_by_switch[key[0]] = (
-                    memory_by_switch.get(key[0], 0.0) + nf.memory_gb * count
-                )
-
+            loads = template.slot_loads(lp.solution)
+            # Vectorized ceiling: q = max(1, ceil(L / Cap)) on active slots,
+            # then per-switch resource sums via one bincount each.
+            active = loads > 1e-12
+            counts = np.zeros(len(template.slots), dtype=np.int64)
+            counts[active] = np.maximum(
+                np.ceil(
+                    loads[active] / template._slot_cap[active] - 1e-9
+                ).astype(np.int64),
+                1,
+            )
+            cores_used = np.bincount(
+                template._slot_switch,
+                weights=template._slot_cores * counts,
+                minlength=len(switch_names),
+            )
+            over = cores_used - avail_cores_arr
             violations = {
-                sw: cores - available_cores.get(sw, 0)
-                for sw, cores in cores_by_switch.items()
-                if cores > available_cores.get(sw, 0)
+                switch_names[k]: int(over[k]) for k in np.flatnonzero(over > 0)
             }
             if available_memory_gb is not None and not violations:
                 # Memory overshoot cannot be repaired by tightening core
                 # budgets; defer to the generic rounding fallback.
-                memory_broken = any(
-                    mem > available_memory_gb.get(sw, 0.0) + 1e-9
-                    for sw, mem in memory_by_switch.items()
+                mem_used = np.bincount(
+                    template._slot_switch,
+                    weights=template._slot_mem * counts,
+                    minlength=len(switch_names),
                 )
-                if memory_broken:
+                if bool(np.any(mem_used > avail_mem_arr + 1e-9)):
                     break
             if not violations:
                 solution = lp.solution.copy()
-                for key, q in q_vars.items():
-                    solution[q.index] = float(quantities.get(key, 0))
-                objective = float(sum(quantities.values()))
+                solution[template._q_idx] = counts
+                quantities = {
+                    template.slots[k]: int(counts[k])
+                    for k in np.flatnonzero(active)
+                }
+                objective = float(counts.sum())
                 return solution, quantities, objective, lp_bound
             for sw, overshoot in violations.items():
                 if prev_violations.get(sw, 0) == overshoot:
@@ -351,25 +689,21 @@ class OptimizationEngine:
                     # from dust slots whose fractional core use is ~0.
                     # Evacuate the lightest slot at this switch instead.
                     slots_here = sorted(
-                        (
-                            (load, key)
-                            for key, load in (
-                                (k, sum(t * lp.solution[v.index] for t, v in terms))
-                                for k, terms in load_terms.items()
-                                if k[0] == sw and k not in banned_slots
-                            )
-                            if load > 1e-12
-                        )
+                        (float(loads[slot_i]), slot)
+                        for slot_i, slot in enumerate(template.slots)
+                        if slot[0] == sw
+                        and slot not in banned_slots
+                        and loads[slot_i] > 1e-12
                     )
                     if slots_here:
                         banned_slots.add(slots_here[0][1])
                 budgets[sw] = max(0.0, budgets[sw] - float(overshoot))
             prev_violations = dict(violations)
 
-        res = solve_with_rounding(model)
+        res = solve_with_rounding(model, compiled=compiled)
         quantities = {
-            key: int(round(res.solution[q.index]))
-            for key, q in q_vars.items()
+            slot: int(round(res.solution[q.index]))
+            for slot, q in q_vars.items()
             if round(res.solution[q.index]) > 0
         }
         return res.solution, quantities, res.objective, res.lp_objective
@@ -389,6 +723,13 @@ class OptimizationEngine:
         same NF on each class's path, checking spare capacity and the
         ordering constraint (Eq. 3) before committing.  Mutates
         ``distribution`` and ``quantities`` in place.
+
+        Evacuating one slot frees spare that may unlock the next, so the
+        pass cascades until a fixed point.  The load/portion indices are
+        built once and maintained incrementally across rounds, and a slot
+        whose evacuation failed is skipped until some commit has changed
+        the global state (an attempt is a pure function of that state, so
+        retrying it unchanged would fail identically).
         """
         class_by_id = {c.class_id: c for c in classes}
         loads: Dict[Tuple[str, str], float] = {}
@@ -402,50 +743,60 @@ class OptimizationEngine:
         def spare(slot: Tuple[str, str]) -> float:
             return self._cap(slot[1]) * quantities.get(slot, 0) - loads.get(slot, 0.0)
 
-        dust = sorted(
-            (
-                slot
-                for slot, q in quantities.items()
-                if q == 1
-                and loads.get(slot, 0.0)
-                < self.config.dust_threshold * self._cap(slot[1])
-            ),
-            key=lambda s: loads.get(s, 0.0),
-        )
-        for slot in dust:
-            moves: List[Tuple[Tuple[str, int, int], Tuple[str, int, int]]] = []
-            pending: Dict[Tuple[str, str], float] = {}
-            ok = True
-            for (cid, i, j) in portions.get(slot, []):
-                cls = class_by_id[cid]
-                frac = distribution.get((cid, i, j), 0.0)
-                if frac <= 0:
+        version = 0
+        failed_at: Dict[Tuple[str, str], int] = {}
+        for _round in range(4):
+            dust = sorted(
+                (
+                    slot
+                    for slot, q in quantities.items()
+                    if q == 1
+                    and loads.get(slot, 0.0)
+                    < self.config.dust_threshold * self._cap(slot[1])
+                ),
+                key=lambda s: loads.get(s, 0.0),
+            )
+            start_version = version
+            for slot in dust:
+                if failed_at.get(slot) == version:
                     continue
-                mass = frac * cls.rate_mbps
-                target = self._find_target(
-                    cls, i, j, slot, mass, quantities, spare, pending, distribution
-                )
-                if target is None:
-                    ok = False
-                    break
-                moves.append(((cid, i, j), (cid, target, j)))
-                tslot = (cls.path[target], cls.chain[j])
-                pending[tslot] = pending.get(tslot, 0.0) + mass
-            if not ok or not moves:
-                continue
-            # Commit: shift fractions, update loads, drop the instance.
-            for (cid, i, j), (_, ti, _) in moves:
-                cls = class_by_id[cid]
-                frac = distribution.pop((cid, i, j))
-                distribution[(cid, ti, j)] = (
-                    distribution.get((cid, ti, j), 0.0) + frac
-                )
-                tslot = (cls.path[ti], cls.chain[j])
-                loads[tslot] = loads.get(tslot, 0.0) + frac * cls.rate_mbps
-                portions.setdefault(tslot, []).append((cid, ti, j))
-            loads.pop(slot, None)
-            portions.pop(slot, None)
-            del quantities[slot]
+                moves: List[Tuple[Tuple[str, int, int], Tuple[str, int, int]]] = []
+                pending: Dict[Tuple[str, str], float] = {}
+                ok = True
+                for (cid, i, j) in portions.get(slot, []):
+                    cls = class_by_id[cid]
+                    frac = distribution.get((cid, i, j), 0.0)
+                    if frac <= 0:
+                        continue
+                    mass = frac * cls.rate_mbps
+                    target = self._find_target(
+                        cls, i, j, slot, mass, quantities, spare, pending, distribution
+                    )
+                    if target is None:
+                        ok = False
+                        break
+                    moves.append(((cid, i, j), (cid, target, j)))
+                    tslot = (cls.path[target], cls.chain[j])
+                    pending[tslot] = pending.get(tslot, 0.0) + mass
+                if not ok or not moves:
+                    failed_at[slot] = version
+                    continue
+                # Commit: shift fractions, update loads, drop the instance.
+                for (cid, i, j), (_, ti, _) in moves:
+                    cls = class_by_id[cid]
+                    frac = distribution.pop((cid, i, j))
+                    distribution[(cid, ti, j)] = (
+                        distribution.get((cid, ti, j), 0.0) + frac
+                    )
+                    tslot = (cls.path[ti], cls.chain[j])
+                    loads[tslot] = loads.get(tslot, 0.0) + frac * cls.rate_mbps
+                    portions.setdefault(tslot, []).append((cid, ti, j))
+                loads.pop(slot, None)
+                portions.pop(slot, None)
+                del quantities[slot]
+                version += 1
+            if version == start_version:
+                break
 
     def _find_target(
         self,
@@ -552,25 +903,25 @@ class OptimizationEngine:
     @staticmethod
     def _extract_distribution(
         classes: Sequence[TrafficClass],
-        d_vars: Dict[Tuple[str, int, int], object],
+        template: PlacementTemplate,
         solution,
         eps: float = 1e-9,
     ) -> Dict[Tuple[str, int, int], float]:
-        """Read d values, drop numeric dust, renormalise each chain step."""
-        raw: Dict[Tuple[str, int, int], float] = {}
-        for key, var in d_vars.items():
-            v = float(solution[var.index])
-            if v > eps:
-                raw[key] = v
-        for cls in classes:
-            for j in range(cls.chain_length):
-                keys = [
-                    (cls.class_id, i, j)
-                    for i in range(cls.path_length)
-                    if (cls.class_id, i, j) in raw
-                ]
-                total = sum(raw[k] for k in keys)
-                if total > 0:
-                    for k in keys:
-                        raw[k] /= total
-        return raw
+        """Read d values, drop numeric dust, renormalise each chain step.
+
+        Fully vectorized: per-(class, step) sums come from one ``bincount``
+        over the precomputed renormalisation groups, and only surviving
+        (> ``eps``) entries are materialised into the result dict.
+        """
+        values = np.asarray(solution)[template._d_idx]
+        keep = values > eps
+        vals = np.where(keep, values, 0.0)
+        totals = np.bincount(
+            template._d_group, weights=vals, minlength=template._n_groups
+        )
+        group_total = totals[template._d_group]
+        norm = np.divide(
+            vals, group_total, out=vals, where=group_total > 0
+        )
+        d_keys = template._d_keys
+        return {d_keys[k]: float(norm[k]) for k in np.flatnonzero(keep)}

@@ -36,6 +36,10 @@ class ReoptimizationReport:
     retired: Dict[Tuple[str, str], int]
     solve_seconds: float
     failed: bool = False
+    #: True when the engine re-solved a cached placement template rather
+    #: than rebuilding the model (the expected steady state of this loop:
+    #: the class structure is stable across snapshots, only rates move).
+    warm_start: bool = False
 
     @property
     def churn(self) -> int:
@@ -135,6 +139,7 @@ class PeriodicReoptimizer:
                 launched=launched,
                 retired=retired,
                 solve_seconds=plan.solve_seconds,
+                warm_start=plan.warm_start,
             )
         )
         self.current_plan = plan

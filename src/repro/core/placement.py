@@ -44,6 +44,9 @@ class PlacementPlan:
         objective: total instance count (Eq. 1's value).
         lp_bound: LP-relaxation objective (optimality gap reporting).
         solve_seconds: wall time of model build + solve.
+        warm_start: True when the engine re-solved a cached
+            :class:`~repro.core.engine.PlacementTemplate` instead of
+            rebuilding and recompiling the model.
     """
 
     quantities: Dict[Tuple[str, str], int]
@@ -53,6 +56,7 @@ class PlacementPlan:
     objective: float
     lp_bound: float = 0.0
     solve_seconds: float = 0.0
+    warm_start: bool = False
 
     # ------------------------------------------------------------------
     def quantity(self, switch: str, nf: str) -> int:

@@ -41,6 +41,10 @@ _QUICKABLE = {
     "fig12", "packet_replay", "failure_sweep",
 }
 
+#: Experiments whose run() accepts a jobs flag (process fan-out over
+#: independent rows).
+_JOBSABLE = {"fig12", "table5", "failure_sweep"}
+
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -57,6 +61,14 @@ def main(argv: List[str] = None) -> int:
         "--quick", action="store_true", help="smoke-scale parameters"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiments with independent rows "
+        f"({', '.join(sorted(_JOBSABLE))}); default 1 (serial)",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="also write the rendered results to FILE (markdown-friendly)",
@@ -68,13 +80,17 @@ def main(argv: List[str] = None) -> int:
     for name in names:
         runner = EXPERIMENTS[name]
         started = time.perf_counter()
-        kwargs = {"quick": True} if args.quick and name in _QUICKABLE else {}
+        kwargs = {}
+        if args.quick and name in _QUICKABLE:
+            kwargs["quick"] = True
+        if args.jobs > 1 and name in _JOBSABLE:
+            kwargs["jobs"] = args.jobs
         result = runner(**kwargs)
-        elapsed = time.perf_counter() - started
+        result.elapsed_seconds = time.perf_counter() - started
         rendered = result.format()
-        sections.append(rendered + f"\n   [{elapsed:.1f}s]")
+        sections.append(rendered)
         print(rendered)
-        print(f"   [{elapsed:.1f}s]\n")
+        print()
     if args.output:
         from pathlib import Path
 

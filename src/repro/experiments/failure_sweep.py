@@ -9,6 +9,7 @@ and without failover, showing graceful degradation instead of a cliff.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Sequence
 
 from repro.core.dynamic import FailoverConfig
@@ -16,22 +17,15 @@ from repro.core.engine import EngineConfig
 from repro.experiments.harness import (
     ExperimentResult,
     REPLAY_HEADROOM,
+    parallel_map,
     standard_setup,
 )
 from repro.traffic.replay import replay_series
 
 
-def run(
-    topology: str = "internet2",
-    failures: Sequence[int] = (0, 1, 2, 4, 8),
-    snapshots: int = 20,
-    quick: bool = False,
-) -> ExperimentResult:
-    """Replay a short timeline with k concurrently failed instances."""
-    if quick:
-        failures = (0, 2)
-        snapshots = 8
-    topo, controller, series = standard_setup(
+def _sweep_setup(topology: str, snapshots: int):
+    """(controller, timeline, victims_by_load) for one sweep instance."""
+    _topo, controller, series = standard_setup(
         topology,
         snapshots=snapshots,
         interval=60.0,
@@ -46,29 +40,62 @@ def run(
     victims_by_load = sorted(
         subclass_plan.instance_load.items(), key=lambda kv: -kv[1]
     )
+    return controller, timeline, victims_by_load
 
-    rows: List[list] = []
-    for k in failures:
-        losses = {}
-        extras = 0.0
-        for enabled in (False, True):
-            handler = controller.make_dynamic_handler(
-                FailoverConfig(enabled=enabled)
-            )
-            for ref, _ in victims_by_load[:k]:
-                handler.fail_instance(ref)
-            result = handler.replay(timeline)
-            losses[enabled] = result.mean_loss
-            if enabled:
-                extras = result.mean_extra_cores
-        rows.append(
-            [
-                k,
-                round(losses[False], 5),
-                round(losses[True], 5),
-                round(extras, 1),
-            ]
+
+def _failure_row(k: int, state=None, topology: str = "", snapshots: int = 0) -> list:
+    """One sweep row.  ``state`` reuses a shared setup on the serial path;
+    worker processes pass ``state=None`` and rebuild it (deterministic, so
+    every worker sees the identical deployment and victim order)."""
+    controller, timeline, victims_by_load = (
+        state if state is not None else _sweep_setup(topology, snapshots)
+    )
+    losses = {}
+    extras = 0.0
+    for enabled in (False, True):
+        handler = controller.make_dynamic_handler(
+            FailoverConfig(enabled=enabled)
         )
+        for ref, _ in victims_by_load[:k]:
+            handler.fail_instance(ref)
+        result = handler.replay(timeline)
+        losses[enabled] = result.mean_loss
+        if enabled:
+            extras = result.mean_extra_cores
+    return [
+        k,
+        round(losses[False], 5),
+        round(losses[True], 5),
+        round(extras, 1),
+    ]
+
+
+def run(
+    topology: str = "internet2",
+    failures: Sequence[int] = (0, 1, 2, 4, 8),
+    snapshots: int = 20,
+    quick: bool = False,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """Replay a short timeline with k concurrently failed instances.
+
+    Args:
+        jobs: worker processes (one failure count per worker).  Workers
+            rebuild the deterministic setup instead of pickling it; the
+            serial path builds it once and shares it across rows.
+    """
+    if quick:
+        failures = (0, 2)
+        snapshots = 8
+    if jobs > 1 and len(failures) > 1:
+        rows: List[list] = parallel_map(
+            partial(_failure_row, topology=topology, snapshots=snapshots),
+            failures,
+            jobs=jobs,
+        )
+    else:
+        state = _sweep_setup(topology, snapshots)
+        rows = [_failure_row(k, state=state) for k in failures]
     return ExperimentResult(
         experiment="failure-sweep",
         description=f"loss vs concurrent instance crashes ({topology})",

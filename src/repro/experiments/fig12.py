@@ -8,6 +8,7 @@ instances ("the average additional cores ... is less than 17").
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Sequence
 
 from repro.core.dynamic import FailoverConfig
@@ -15,6 +16,7 @@ from repro.core.engine import EngineConfig
 from repro.experiments.harness import (
     ExperimentResult,
     REPLAY_HEADROOM,
+    parallel_map,
     standard_setup,
 )
 from repro.traffic.replay import replay_series
@@ -41,27 +43,36 @@ def loss_timelines(topology: str, snapshots: int, seed: int = 3):
     return results[False], results[True]
 
 
+def _topology_row(name: str, snapshots: int) -> list:
+    """One result row; module-level so process pools can pickle it."""
+    without, with_fo = loss_timelines(name, snapshots)
+    return [
+        name,
+        round(without.mean_loss, 5),
+        round(without.max_loss, 4),
+        round(with_fo.mean_loss, 5),
+        round(with_fo.max_loss, 4),
+        round(with_fo.mean_extra_cores, 1),
+    ]
+
+
 def run(
     topologies: Sequence[str] = TOPOLOGIES,
     snapshots: int = 120,
     quick: bool = False,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Loss statistics with and without fast failover per topology."""
+    """Loss statistics with and without fast failover per topology.
+
+    Args:
+        jobs: worker processes; each topology's replay is independent, so
+            ``jobs > 1`` runs them concurrently (same rows, same order).
+    """
     if quick:
         snapshots = 30
-    rows: List[list] = []
-    for name in topologies:
-        without, with_fo = loss_timelines(name, snapshots)
-        rows.append(
-            [
-                name,
-                round(without.mean_loss, 5),
-                round(without.max_loss, 4),
-                round(with_fo.mean_loss, 5),
-                round(with_fo.max_loss, 4),
-                round(with_fo.mean_extra_cores, 1),
-            ]
-        )
+    rows: List[list] = parallel_map(
+        partial(_topology_row, snapshots=snapshots), topologies, jobs=jobs
+    )
     return ExperimentResult(
         experiment="Fig. 12",
         description="packet loss over time, fast failover on/off",

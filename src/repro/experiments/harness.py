@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +58,8 @@ class ExperimentResult:
     columns: List[str]
     rows: List[List[Any]]
     notes: str = ""
+    #: Wall time of the producing run (filled by the CLI / benchmarks).
+    elapsed_seconds: float = 0.0
 
     def format(self) -> str:
         """Monospace rendering of the result table."""
@@ -76,6 +80,8 @@ class ExperimentResult:
             )
         if self.notes:
             lines.append(f"   note: {self.notes}")
+        if self.elapsed_seconds > 0:
+            lines.append(f"   [{self.elapsed_seconds:.1f}s]")
         return "\n".join(lines)
 
 
@@ -83,6 +89,31 @@ def _fmt(v: Any) -> str:
     if isinstance(v, float):
         return f"{v:.4g}"
     return str(v)
+
+
+def default_jobs() -> int:
+    """A conservative worker count for experiment fan-out."""
+    return max(1, min(4, (os.cpu_count() or 1) - 1))
+
+
+def parallel_map(
+    fn: Callable[[Any], Any], items: Iterable[Any], jobs: int = 1
+) -> List[Any]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Experiment rows (one per topology / failure count) are independent and
+    each re-runs the full setup + replay pipeline, so process fan-out
+    scales near-linearly.  ``fn`` must be picklable (a module-level
+    function or :func:`functools.partial` of one).  With ``jobs <= 1`` or
+    fewer than two items the map runs serially in-process — same results,
+    no pool overhead — so callers can always route through here and let
+    the flag decide.  Result order matches input order either way.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 def standard_setup(

@@ -1,0 +1,17 @@
+"""Performance telemetry: timing spans and trajectory reports.
+
+See :mod:`repro.perf.timing`.  Import the module-level helpers directly::
+
+    from repro.perf import REGISTRY, span, timed
+"""
+
+from repro.perf.timing import REGISTRY, SpanStats, TimingRegistry, record, span, timed
+
+__all__ = [
+    "REGISTRY",
+    "SpanStats",
+    "TimingRegistry",
+    "record",
+    "span",
+    "timed",
+]

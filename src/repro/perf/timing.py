@@ -1,0 +1,139 @@
+"""Lightweight performance telemetry: named spans and JSON reports.
+
+The hot paths of the reproduction (placement, compile, replay) record wall
+time into a process-wide :class:`TimingRegistry`.  Spans are cheap (one
+``perf_counter`` pair and a dict update), so they can stay on permanently;
+benchmarks and the experiment CLI read the registry back to produce
+trajectory files such as ``BENCH_engine.json``.
+
+Usage::
+
+    from repro.perf import span, timed
+
+    with span("engine.warm_solve"):
+        ...
+
+    @timed("engine.template_build")
+    def build(...):
+        ...
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional
+
+
+@dataclass
+class SpanStats:
+    """Accumulated timings of one named span."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class TimingRegistry:
+    """Accumulates :class:`SpanStats` per span name."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, SpanStats] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, seconds: float) -> None:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SpanStats()
+        stats.record(seconds)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context manager timing one block under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def timed(self, name: str) -> Callable:
+        """Decorator timing every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                started = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    self.record(name, time.perf_counter() - started)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def stats(self, name: str) -> SpanStats:
+        """Stats of one span (zeros when the span never ran)."""
+        return self._stats.get(name, SpanStats())
+
+    def names(self):
+        return sorted(self._stats)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """All spans as plain dicts, ready for JSON."""
+        return {name: self._stats[name].as_dict() for name in sorted(self._stats)}
+
+    def write_json(self, path, extra: Optional[Dict[str, Any]] = None) -> None:
+        """Dump the report (plus optional metadata) to ``path``."""
+        payload: Dict[str, Any] = {"spans": self.report()}
+        if extra:
+            payload.update(extra)
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+
+#: Process-wide default registry used by the module-level helpers.
+REGISTRY = TimingRegistry()
+
+
+def span(name: str):
+    """Time a block against the default registry."""
+    return REGISTRY.span(name)
+
+
+def timed(name: str) -> Callable:
+    """Time every call of a function against the default registry."""
+    return REGISTRY.timed(name)
+
+
+def record(name: str, seconds: float) -> None:
+    """Record an externally measured duration."""
+    REGISTRY.record(name, seconds)

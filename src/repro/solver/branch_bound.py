@@ -50,9 +50,17 @@ def solve_branch_bound(
     max_nodes: int = 2000,
     int_tol: float = 1e-6,
     gap_tol: float = 1e-6,
+    compiled=None,
 ) -> BranchBoundResult:
-    """Minimise ``model`` respecting integrality of its integer variables."""
-    compiled = model.compile()
+    """Minimise ``model`` respecting integrality of its integer variables.
+
+    Args:
+        compiled: reuse a pre-compiled model (warm-start callers pass the
+            template's cached matrices; per-node solves then share one set
+            of clamped bounds via ``CompiledModel.clamped_bounds``).
+    """
+    if compiled is None:
+        compiled = model.compile()
     integer_indices = model.integer_indices
     n = model.num_variables
     counter = itertools.count()

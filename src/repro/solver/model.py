@@ -5,13 +5,18 @@ matrices :func:`scipy.optimize.linprog` consumes.  Supports continuous and
 integer variables, linear expressions, ≤ / ≥ / = constraints, and a
 minimisation objective.  Kept deliberately minimal: everything the
 Optimization Engine's formulation (Eq. 1–8) needs and nothing more.
+
+Compilation assembles COO triplet buffers with :func:`numpy.repeat` rather
+than per-term Python loops, and a :class:`CompiledModel` supports in-place
+coefficient / right-hand-side rewrites so warm-start callers (the engine's
+:class:`~repro.core.engine.PlacementTemplate`) re-solve without recompiling.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -137,8 +142,13 @@ class LinExpr:
         return Constraint(self - rhs, Sense.EQ)
 
     def value(self, solution: np.ndarray) -> float:
-        """Evaluate under a solution vector."""
-        return self.constant + sum(c * solution[i] for i, c in self.coeffs.items())
+        """Evaluate under a solution vector (NumPy gather, not a Python sum)."""
+        m = len(self.coeffs)
+        if m == 0:
+            return self.constant
+        idx = np.fromiter(self.coeffs.keys(), dtype=np.intp, count=m)
+        coef = np.fromiter(self.coeffs.values(), dtype=float, count=m)
+        return float(self.constant + np.asarray(solution)[idx] @ coef)
 
 
 @dataclass
@@ -166,6 +176,9 @@ class CompiledModel:
     ``ub_row_of`` / ``eq_row_of`` map a constraint's index in
     ``Model.constraints`` to its row in ``a_ub`` / ``a_eq``, letting callers
     retune right-hand sides (e.g. resource budgets) without recompiling.
+    ``row_sign`` records the standardisation sign per constraint (−1 for ≥
+    rows, which are stored negated), so :meth:`set_coefficient` and
+    :meth:`set_rhs` can be expressed in the constraint's own orientation.
     """
 
     c: np.ndarray
@@ -175,8 +188,176 @@ class CompiledModel:
     b_eq: Optional[np.ndarray]
     bounds: List[Tuple[float, float]]
     integer_mask: np.ndarray
-    ub_row_of: Dict[int, int] = None  # type: ignore[assignment]
-    eq_row_of: Dict[int, int] = None  # type: ignore[assignment]
+    ub_row_of: Dict[int, int] = field(default_factory=dict)
+    eq_row_of: Dict[int, int] = field(default_factory=dict)
+    row_sign: Dict[int, float] = field(default_factory=dict)
+    #: Cache of linprog-ready bounds (see :meth:`clamped_bounds`).
+    _clamped: Optional[List[Tuple[float, Optional[float]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Lazy (is_eq, row, col) → position-in-``data`` cache for coefficient
+    #: rewrites; filled one row at a time on first touch.
+    _pos_cache: Dict[Tuple[int, int, int], int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Lazy cache of HiGHS-native arrays (see :meth:`highs_arrays`).
+    _highs: Optional[dict] = field(default=None, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def highs_arrays(self) -> dict:
+        """Solver-native arrays for the direct HiGHS call path, cached.
+
+        scipy's ``linprog`` re-stacks ``A_ub``/``A_eq`` into one CSC matrix
+        and re-derives row/column bound arrays on *every* call; for warm
+        re-solves that conversion dominates the non-simplex overhead.  This
+        cache performs the conversion once per compiled model and keeps a
+        CSR→CSC position map so in-place coefficient rewrites
+        (:meth:`set_coefficient`, :meth:`set_ub_coefficients`) stay visible
+        to the solver without rebuilding anything.
+
+        Returns a dict with keys ``c``, ``indptr``/``indices``/``data``
+        (stacked [A_ub; A_eq] in CSC), ``lhs``/``rhs`` (row activity
+        bounds: ``(-inf, b_ub]`` rows then ``[b_eq, b_eq]`` rows), ``lb``/
+        ``ub`` (column bounds), ``n_ub`` (number of inequality rows) and
+        ``csr_to_csc`` (data-position map, A_ub entries first).
+        """
+        if self._highs is not None:
+            return self._highs
+        n = len(self.c)
+        mats = [m for m in (self.a_ub, self.a_eq) if m is not None]
+        if mats:
+            stacked = mats[0] if len(mats) == 1 else sparse.vstack(mats, format="csr")
+            stacked = stacked.tocsr()
+            nnz = stacked.nnz
+            # Map each CSR data position to its slot in the CSC copy by
+            # pushing 1-based positions through the same conversion.
+            marker = sparse.csr_matrix(
+                (
+                    np.arange(1, nnz + 1, dtype=float),
+                    stacked.indices,
+                    stacked.indptr,
+                ),
+                shape=stacked.shape,
+            ).tocsc()
+            csc = stacked.tocsc()
+            csr_to_csc = np.empty(nnz, dtype=np.intp)
+            csr_to_csc[marker.data.astype(np.intp) - 1] = np.arange(nnz, dtype=np.intp)
+        else:
+            csc = sparse.csc_matrix((0, n), dtype=float)
+            csr_to_csc = np.empty(0, dtype=np.intp)
+        n_ub = 0 if self.a_ub is None else self.a_ub.shape[0]
+        b_ub = np.empty(0) if self.b_ub is None else np.asarray(self.b_ub, dtype=float)
+        b_eq = np.empty(0) if self.b_eq is None else np.asarray(self.b_eq, dtype=float)
+        lhs = np.concatenate([np.full(n_ub, -np.inf), b_eq])
+        rhs = np.concatenate([b_ub, b_eq])
+        lb = np.fromiter((b[0] for b in self.bounds), dtype=float, count=n)
+        ub = np.fromiter((b[1] for b in self.bounds), dtype=float, count=n)
+        self._highs = {
+            "c": np.asarray(self.c, dtype=float),
+            "indptr": csc.indptr,
+            "indices": csc.indices,
+            "data": csc.data,
+            "lhs": lhs,
+            "rhs": rhs,
+            "lb": lb,
+            "ub": ub,
+            "n_ub": n_ub,
+            "n_ub_nnz": 0 if self.a_ub is None else self.a_ub.nnz,
+            "csr_to_csc": csr_to_csc,
+        }
+        return self._highs
+
+    def set_ub_coefficients(self, data_positions: np.ndarray, values: np.ndarray) -> None:
+        """Bulk-overwrite ``a_ub.data`` at ``data_positions`` (one scatter).
+
+        The warm-start hot path: the engine's template resolves the Eq. 5
+        rate slots once and rewrites them all per snapshot through here,
+        which also keeps the cached HiGHS CSC copy in sync.
+        """
+        self.a_ub.data[data_positions] = values
+        if self._highs is not None:
+            self._highs["data"][self._highs["csr_to_csc"][data_positions]] = values
+
+    # ------------------------------------------------------------------
+    def clamped_bounds(self) -> List[Tuple[float, Optional[float]]]:
+        """Bounds in linprog form (``inf`` → ``None``), computed once.
+
+        Branch-and-bound and iterative rounding issue many solves against
+        one compiled model; caching here removes the per-solve rebuild.
+        """
+        if self._clamped is None:
+            self._clamped = [
+                (lb, None if ub == float("inf") else ub) for lb, ub in self.bounds
+            ]
+        return self._clamped
+
+    # ------------------------------------------------------------------
+    def _locate(self, constraint_index: int):
+        """(matrix, row, is_eq) of a constraint's standardised row."""
+        row = self.ub_row_of.get(constraint_index)
+        if row is not None:
+            return self.a_ub, row, False
+        row = self.eq_row_of.get(constraint_index)
+        if row is not None:
+            return self.a_eq, row, True
+        raise KeyError(f"constraint {constraint_index} not in compiled model")
+
+    def coefficient_slot(self, constraint_index: int, var_index: int):
+        """``(matrix, data position, sign)`` of one stored coefficient.
+
+        Exposed so warm-start callers can resolve positions once and batch
+        their data writes.  Raises ``KeyError`` when the coefficient is not
+        in the compiled sparsity pattern (it was zero at compile time) —
+        recompile instead of writing through this API.
+        """
+        mat, row, is_eq = self._locate(constraint_index)
+        key = (int(is_eq), row, var_index)
+        pos = self._pos_cache.get(key)
+        if pos is None:
+            start, end = int(mat.indptr[row]), int(mat.indptr[row + 1])
+            for off, col in enumerate(mat.indices[start:end]):
+                self._pos_cache[(int(is_eq), row, int(col))] = start + off
+            pos = self._pos_cache.get(key)
+            if pos is None:
+                raise KeyError(
+                    f"constraint {constraint_index}: variable {var_index} "
+                    "not in the compiled sparsity pattern"
+                )
+        return mat, pos, self.row_sign.get(constraint_index, 1.0)
+
+    def set_coefficient(self, constraint_index: int, var_index: int, value: float) -> None:
+        """Overwrite one coefficient, in the constraint's own orientation.
+
+        Only coefficients that were nonzero at compile time can be rewritten
+        (the sparsity pattern is fixed); standardisation sign for ≥ rows is
+        applied internally.
+        """
+        mat, pos, sign = self.coefficient_slot(constraint_index, var_index)
+        mat.data[pos] = sign * value
+        if self._highs is not None:
+            off = pos if mat is self.a_ub else self._highs["n_ub_nnz"] + pos
+            self._highs["data"][self._highs["csr_to_csc"][off]] = sign * value
+
+    def set_rhs(self, constraint_index: int, value: float) -> None:
+        """Overwrite a constraint's right-hand side.
+
+        ``value`` is the rhs as written (``linear part ≤/≥/= value``); the
+        standardisation sign for ≥ rows is applied internally.
+        """
+        row = self.ub_row_of.get(constraint_index)
+        if row is not None:
+            self.b_ub[row] = self.row_sign.get(constraint_index, 1.0) * value
+            if self._highs is not None:
+                self._highs["rhs"][row] = self.b_ub[row]
+            return
+        row = self.eq_row_of.get(constraint_index)
+        if row is not None:
+            self.b_eq[row] = value
+            if self._highs is not None:
+                self._highs["lhs"][self._highs["n_ub"] + row] = value
+                self._highs["rhs"][self._highs["n_ub"] + row] = value
+            return
+        raise KeyError(f"constraint {constraint_index} not in compiled model")
 
 
 class Model:
@@ -210,6 +391,26 @@ class Model:
         self.constraints.append(constraint)
         return constraint
 
+    def add_constraints(
+        self,
+        constraints: Iterable[Constraint],
+        names: Optional[Sequence[str]] = None,
+    ) -> List[Constraint]:
+        """Bulk-register constraints with one list extend.
+
+        The engine's emission loops produce hundreds of constraints per
+        class; this path avoids a Python call per constraint.
+        """
+        batch = list(constraints)
+        if names is not None:
+            if len(names) != len(batch):
+                raise ValueError("names and constraints length mismatch")
+            for con, name in zip(batch, names):
+                if name:
+                    con.name = name
+        self.constraints.extend(batch)
+        return batch
+
     def minimize(self, expr: Union[LinExpr, Variable]) -> None:
         """Set the minimisation objective."""
         self._objective = LinExpr.of(expr)
@@ -234,50 +435,83 @@ class Model:
 
     # ------------------------------------------------------------------
     def compile(self) -> CompiledModel:
-        """Flatten to sparse standard form."""
+        """Flatten to sparse standard form (vectorized triplet assembly)."""
         n = len(self.variables)
         c = np.zeros(n)
-        for i, coef in self.objective.coeffs.items():
-            c[i] = coef
+        obj = self.objective.coeffs
+        if obj:
+            c[np.fromiter(obj.keys(), dtype=np.intp, count=len(obj))] = np.fromiter(
+                obj.values(), dtype=float, count=len(obj)
+            )
 
-        ub_rows: List[Tuple[Dict[int, float], float]] = []
-        eq_rows: List[Tuple[Dict[int, float], float]] = []
+        # Bucket constraints by standard form; coefficients stay as the
+        # original dicts, the ≥ negation is applied vectorized below.
+        ub_rows: List[Dict[int, float]] = []
+        ub_rhs: List[float] = []
+        ub_signs: List[float] = []
+        eq_rows: List[Dict[int, float]] = []
+        eq_rhs: List[float] = []
         ub_row_of: Dict[int, int] = {}
         eq_row_of: Dict[int, int] = {}
+        row_sign: Dict[int, float] = {}
         for ci, con in enumerate(self.constraints):
             coeffs, const = con.expr.coeffs, con.expr.constant
             if con.sense is Sense.LE:
                 ub_row_of[ci] = len(ub_rows)
-                ub_rows.append((coeffs, -const))
+                row_sign[ci] = 1.0
+                ub_rows.append(coeffs)
+                ub_rhs.append(-const)
+                ub_signs.append(1.0)
             elif con.sense is Sense.GE:
                 ub_row_of[ci] = len(ub_rows)
-                ub_rows.append(({i: -k for i, k in coeffs.items()}, const))
+                row_sign[ci] = -1.0
+                ub_rows.append(coeffs)
+                ub_rhs.append(const)
+                ub_signs.append(-1.0)
             else:
                 eq_row_of[ci] = len(eq_rows)
-                eq_rows.append((coeffs, -const))
+                row_sign[ci] = 1.0
+                eq_rows.append(coeffs)
+                eq_rhs.append(-const)
 
-        def build(rows) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray]]:
+        def build(
+            rows: List[Dict[int, float]],
+            rhs: List[float],
+            signs: Optional[List[float]],
+        ) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray]]:
             if not rows:
                 return None, None
-            data, ri, ci, rhs = [], [], [], []
-            for r, (coeffs, b) in enumerate(rows):
-                rhs.append(b)
-                for i, k in coeffs.items():
-                    if k != 0.0:
-                        ri.append(r)
-                        ci.append(i)
-                        data.append(k)
+            # COO triplet buffers: per-row dict keys/values land via C-speed
+            # list extends; row indices come from one np.repeat.
+            cols: List[int] = []
+            vals: List[float] = []
+            counts = np.empty(len(rows), dtype=np.intp)
+            for r, coeffs in enumerate(rows):
+                counts[r] = len(coeffs)
+                cols.extend(coeffs.keys())
+                vals.extend(coeffs.values())
+            ri = np.repeat(np.arange(len(rows), dtype=np.intp), counts)
+            ci_arr = np.asarray(cols, dtype=np.intp)
+            data = np.asarray(vals, dtype=float)
+            if signs is not None:
+                data = data * np.repeat(np.asarray(signs, dtype=float), counts)
+            keep = data != 0.0
+            if not keep.all():
+                ri, ci_arr, data = ri[keep], ci_arr[keep], data[keep]
             mat = sparse.csr_matrix(
-                (data, (ri, ci)), shape=(len(rows), n), dtype=float
+                (data, (ri, ci_arr)), shape=(len(rows), n), dtype=float
             )
             return mat, np.asarray(rhs, dtype=float)
 
-        a_ub, b_ub = build(ub_rows)
-        a_eq, b_eq = build(eq_rows)
+        a_ub, b_ub = build(ub_rows, ub_rhs, ub_signs)
+        a_eq, b_eq = build(eq_rows, eq_rhs, None)
         bounds = [(v.lb, v.ub) for v in self.variables]
-        integer_mask = np.array([v.integer for v in self.variables], dtype=bool)
+        integer_mask = np.fromiter(
+            (v.integer for v in self.variables), dtype=bool, count=n
+        )
         return CompiledModel(
-            c, a_ub, b_ub, a_eq, b_eq, bounds, integer_mask, ub_row_of, eq_row_of
+            c, a_ub, b_ub, a_eq, b_eq, bounds, integer_mask,
+            ub_row_of, eq_row_of, row_sign,
         )
 
     def check_feasible(self, solution: np.ndarray, tol: float = 1e-6) -> List[str]:

@@ -52,14 +52,20 @@ def solve_with_rounding(
     model: Model,
     int_tol: float = 1e-6,
     max_iterations: Optional[int] = None,
+    compiled=None,
 ) -> RoundingResult:
     """Solve ``model`` by LP relaxation + iterative round-up.
+
+    Args:
+        compiled: reuse a pre-compiled model (warm-start callers pass the
+            template's cached matrices instead of recompiling).
 
     Raises:
         SolverError: when even the relaxation is infeasible, or when neither
             rounding direction of some variable admits a feasible completion.
     """
-    compiled = model.compile()
+    if compiled is None:
+        compiled = model.compile()
     n = model.num_variables
     integer_indices = model.integer_indices
     lower = np.full(n, np.nan)
