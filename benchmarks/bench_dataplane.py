@@ -1,0 +1,177 @@
+"""Data-plane fast-path benchmark: scalar vs flow-cached vs batched walks.
+
+Acceptance target of the data-plane fast-path work: on the
+``packet_replay`` workload (internet2, 4 s of CBR traffic) the batched
+walker (``inject_stream`` driven by :class:`BatchedCBRMux`) sustains at
+least 10x the packets/sec of the pre-PR scalar path (per-packet
+``inject`` with the TCAM flow cache disabled), with identical delivery
+stats — same delivered/dropped counts and zero policy violations.
+
+All three modes replay exactly the same packet sequence: same seed, same
+per-class flow-hash cycle, same CBR timestamps.  Packets/sec is best-of-N
+wall-clock; results append to the ``BENCH_dataplane.json`` trajectory at
+the repo root.
+"""
+
+import time
+
+from repro.dataplane.packet import Packet
+from repro.experiments.harness import standard_setup
+from repro.experiments.packet_replay import PPS_PER_MBPS, scaled_catalog
+from repro.sim.kernel import Simulator
+from repro.sim.sources import BatchedCBRMux, CBRSource
+
+#: Simulated seconds of CBR traffic per measurement.
+DURATION = 4.0
+#: Wall-clock repetitions per mode (best-of-N packets/sec).
+REPEATS = 4
+#: Packets per simulator event in batched mode.
+BATCH = 256
+
+_SEED = 11
+
+
+def _deploy():
+    """One internet2 deployment shared by every mode (plans differ per run)."""
+    _topo, controller, series = standard_setup("internet2", snapshots=2)
+    controller.catalog = scaled_catalog(controller.catalog)
+    controller.engine.catalog = controller.catalog
+    controller.rule_generator.catalog = controller.catalog
+    plan = controller.compute_placement(series.mean())
+    deployment = controller.deploy(plan, sim=Simulator(seed=_SEED))
+    return plan, deployment.network
+
+
+def _classes(plan):
+    for cls in plan.classes:
+        pps = cls.rate_mbps * PPS_PER_MBPS
+        if pps > 0.5:
+            yield cls, pps
+
+
+def _run_scalar(plan, network, cache_enabled):
+    """Event-per-packet replay through ``inject`` (the pre-PR path when
+    ``cache_enabled`` is False)."""
+    sim = Simulator(seed=_SEED)
+    network.reset_runtime_state()
+    for sw in network.switches.values():
+        sw.table.cache_enabled = cache_enabled
+    sent = [0]
+
+    def make_consumer(cls):
+        state = {"k": 0}
+
+        def consume(size, now):
+            state["k"] += 1
+            h = (state["k"] * 0.137) % 1.0
+            packet = Packet(
+                class_id=cls.class_id, flow_hash=h, src=cls.src, dst=cls.dst
+            )
+            sent[0] += 1
+            network.inject(packet, now=now)
+
+        return consume
+
+    rng = sim.rng.child("packet-replay-phases")
+    sources = []
+    for cls, pps in _classes(plan):
+        src = CBRSource(sim, make_consumer(cls), pps, name=cls.class_id)
+        sim.schedule(rng.uniform(0.0, 1.0 / pps), src.start)
+        sources.append(src)
+    started = time.perf_counter()
+    sim.run(until=DURATION)
+    elapsed = time.perf_counter() - started
+    for src in sources:
+        src.stop()
+    return sent[0], elapsed, network.delivery_stats()
+
+
+def _run_batched(plan, network):
+    """Batched replay: one mux event per BATCH packets, walked through
+    cached per-bucket plans by ``inject_stream``."""
+    sim = Simulator(seed=_SEED)
+    network.reset_runtime_state()
+    for sw in network.switches.values():
+        sw.table.cache_enabled = True
+    sent = [0]
+    hash_state = {}
+
+    def on_batch(pairs):
+        items = []
+        append = items.append
+        state = hash_state
+        for cid, t in pairs:
+            k = state[cid] = state[cid] + 1
+            append((cid, (k * 0.137) % 1.0, t))
+        sent[0] += len(items)
+        network.inject_stream(items)
+
+    mux = BatchedCBRMux(sim, on_batch, chunk=BATCH, horizon=DURATION)
+    rng = sim.rng.child("packet-replay-phases")
+    for cls, pps in _classes(plan):
+        hash_state[cls.class_id] = 0
+        mux.add_stream(cls.class_id, pps, rng.uniform(0.0, 1.0 / pps))
+    mux.start()
+    started = time.perf_counter()
+    sim.run(until=DURATION)
+    elapsed = time.perf_counter() - started
+    mux.stop()
+    return sent[0], elapsed, network.delivery_stats()
+
+
+def _best_pps(runner):
+    best = 0.0
+    sent = stats = None
+    for _ in range(REPEATS):
+        n, elapsed, run_stats = runner()
+        if sent is None:
+            sent, stats = n, run_stats
+        else:
+            # Every repetition must replay the identical packet sequence.
+            assert n == sent and run_stats == stats
+        best = max(best, n / elapsed)
+    return best, sent, stats
+
+
+def test_batched_walk_speedup(record_bench_dataplane):
+    plan, network = _deploy()
+
+    scalar_pps, sent, scalar_stats = _best_pps(
+        lambda: _run_scalar(plan, network, cache_enabled=False)
+    )
+    cached_pps, _, cached_stats = _best_pps(
+        lambda: _run_scalar(plan, network, cache_enabled=True)
+    )
+    batched_pps, batched_sent, batched_stats = _best_pps(
+        lambda: _run_batched(plan, network)
+    )
+
+    # All three modes must agree packet-for-packet.
+    assert batched_sent == sent
+    assert cached_stats == scalar_stats
+    assert batched_stats == scalar_stats
+    delivered, dropped, violations = batched_stats
+    assert violations == 0
+
+    speedup = batched_pps / scalar_pps
+    record_bench_dataplane(
+        "dataplane_packet_replay",
+        {
+            "topology": "internet2",
+            "duration_s": DURATION,
+            "repeats": REPEATS,
+            "batch": BATCH,
+            "packets": sent,
+            "delivered": delivered,
+            "dropped": dropped,
+            "violations": violations,
+            "scalar_nocache_pps": round(scalar_pps, 1),
+            "scalar_cached_pps": round(cached_pps, 1),
+            "batched_pps": round(batched_pps, 1),
+            "speedup_batched_vs_scalar": round(speedup, 2),
+        },
+    )
+    assert speedup >= 10.0, (
+        f"batched walk only {speedup:.2f}x faster than the scalar path "
+        f"({batched_pps:.0f} vs {scalar_pps:.0f} pps)"
+    )

@@ -1,7 +1,8 @@
-"""Shared benchmark fixtures: result reporting and the perf trajectory.
+"""Shared benchmark fixtures: result reporting and the perf trajectories.
 
 ``record_bench`` appends measurements to ``BENCH_engine.json`` at the repo
-root.  The file is a *trajectory*: a JSON list that grows by one entry per
+root; ``record_bench_dataplane`` does the same for ``BENCH_dataplane.json``.
+Each file is a *trajectory*: a JSON list that grows by one entry per
 recorded benchmark run, so successive commits can be compared without
 re-running history.
 """
@@ -12,7 +13,9 @@ from pathlib import Path
 
 import pytest
 
-BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = _ROOT / "BENCH_engine.json"
+BENCH_DATAPLANE_FILE = _ROOT / "BENCH_dataplane.json"
 
 
 def report(result) -> None:
@@ -26,20 +29,34 @@ def print_result():
     return report
 
 
-def _append_bench(name: str, payload: dict) -> None:
+def _append_to(path: Path, name: str, payload: dict) -> None:
     entries = []
-    if BENCH_FILE.exists():
+    if path.exists():
         try:
-            entries = json.loads(BENCH_FILE.read_text())
+            entries = json.loads(path.read_text())
         except (ValueError, OSError):
             entries = []
         if not isinstance(entries, list):
             entries = [entries]
     entries.append({"bench": name, "unix_time": round(time.time(), 1), **payload})
-    BENCH_FILE.write_text(json.dumps(entries, indent=2) + "\n")
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def _append_bench(name: str, payload: dict) -> None:
+    _append_to(BENCH_FILE, name, payload)
 
 
 @pytest.fixture(scope="session")
 def record_bench():
     """Append ``{bench: name, ...payload}`` to the BENCH_engine.json trajectory."""
     return _append_bench
+
+
+@pytest.fixture(scope="session")
+def record_bench_dataplane():
+    """Same trajectory appender, targeting ``BENCH_dataplane.json``."""
+
+    def _append(name: str, payload: dict) -> None:
+        _append_to(BENCH_DATAPLANE_FILE, name, payload)
+
+    return _append

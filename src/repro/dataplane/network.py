@@ -6,17 +6,45 @@ injected packets, and records delivery outcomes.  Crucially the walker
 *always* forwards along the class's original routing path — it has no other
 forwarding state — so any policy-enforcement behaviour observed emerges
 purely from the tag rules, and interference freedom is structural.
+
+Two walkers share the installed rules:
+
+* :meth:`inject` — the scalar reference walker: one packet, full pipeline,
+  per-hop counters, a :class:`DeliveryRecord` in the ring buffer.
+* :meth:`inject_batch` — the fast path.  Within one hash bucket (the flow
+  cache's quantum, see :mod:`repro.dataplane.tcam`) every packet of a class
+  takes the *same* walk: same entries matched, same tag writes, same
+  vSwitch rules, same instance sequence.  The batched walker therefore
+  resolves that walk once into a :class:`_WalkPlan` and replays only the
+  per-packet part — sliding-window admission at each VNF instance — for
+  the whole batch, bulk-updating switch/vSwitch counters per plan rather
+  than per packet.  Plans fall back to the scalar walker whenever the
+  per-bucket invariant cannot be guaranteed: the bucket straddles a
+  hash-range boundary, an instance has a downstream hook, or a
+  hash-dependent classification happens after a header-modifying VNF.
+
+Delivery accounting is a counter ledger (delivered/dropped/violations)
+plus a bounded ring of recent :class:`DeliveryRecord` objects for
+debugging, so :meth:`delivery_stats` is O(1) regardless of traffic volume.
+The batch walker updates only the counters (it never materialises
+per-packet records).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.dataplane.packet import Packet
+from repro.dataplane.packet import FIN, Packet
 from repro.dataplane.switch import PhysicalSwitch, SwitchDecision
+from repro.dataplane.tcam import ActionKind
 from repro.dataplane.vswitch import VSwitch
+from repro.perf import REGISTRY
 from repro.topology.graph import Topology
+
+_BUCKETS = 65536  # 1 << TcamEntry.HASH_BITS; inlined on the hot path
 
 
 @dataclass
@@ -33,6 +61,46 @@ class DeliveryRecord:
         return self.delivered and self.packet.finished_processing
 
 
+class _WalkPlan:
+    """The resolved walk of one (class, hash-bucket) through the pipeline.
+
+    ``hops`` lists the visited switches in path order (with each hop's
+    TCAM table and whether the lookup missed); ``vsteps`` lists the host
+    visits as ``(hop_index, switch_name, vswitch, instance_slots)``.  The
+    per-call accumulators ``n`` / ``drops`` let the executor bulk-update
+    switch and ledger counters once per plan per batch.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "fallback",
+        "cacheable",
+        "hops",
+        "vsteps",
+        "tcam_drop_at",
+        "finished",
+        "step_outcomes",
+        "final_outcome",
+        "n",
+        "drops",
+    )
+
+    def __init__(self) -> None:
+        self.src = ""
+        self.dst = ""
+        self.fallback = False
+        self.cacheable = True
+        self.hops: List[tuple] = []
+        self.vsteps: List[tuple] = []
+        self.tcam_drop_at: Optional[str] = None
+        self.finished = False
+        self.step_outcomes: List[tuple] = []
+        self.final_outcome: tuple = (True, None)
+        self.n = 0
+        self.drops: List[int] = []
+
+
 class DataPlaneNetwork:
     """Switches + vSwitches wired to a topology, with a packet walker.
 
@@ -42,6 +110,8 @@ class DataPlaneNetwork:
     """
 
     MAX_HOPS = 1024  # loop guard; paths are far shorter
+    RECENT_RECORDS = 256  # ring-buffer depth of per-packet debug records
+    SPAN_SAMPLE = 64  # record 1 in N per-packet perf spans (power of two)
 
     def __init__(self, topo: Topology) -> None:
         self.topo = topo
@@ -52,7 +122,25 @@ class DataPlaneNetwork:
             s: VSwitch(s) for s in topo.hosts
         }
         self.class_paths: Dict[str, Tuple[str, ...]] = {}
-        self.records: List[DeliveryRecord] = []
+        # Delivery ledger: O(1) counters + a bounded ring of recent records.
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.violation_count = 0
+        self.recent_records: Deque[DeliveryRecord] = deque(
+            maxlen=self.RECENT_RECORDS
+        )
+        # Batched-walk plan cache: class_id -> hash bucket -> _WalkPlan,
+        # valid for one (TCAM tables + vSwitches) generation snapshot.
+        self._plans: Dict[str, Dict[int, _WalkPlan]] = {}
+        # Buckets matching the same entry sequence share one plan object,
+        # so counter accumulation/flushing scales with the number of
+        # distinct walks (≈ sub-classes), not the number of hash buckets.
+        self._plan_pool: Dict[tuple, _WalkPlan] = {}
+        self._plans_snapshot: Optional[tuple] = None
+        self._dirty_plans: List[_WalkPlan] = []
+        self._span_tick = 0
+        self._switch_list = list(self.switches.values())
+        self._vswitch_list = list(self.vswitches.values())
 
     # ------------------------------------------------------------------
     def register_class_path(self, class_id: str, path: Tuple[str, ...]) -> None:
@@ -63,6 +151,11 @@ class DataPlaneNetwork:
             if s not in self.switches:
                 raise KeyError(f"path references unknown switch {s!r}")
         self.class_paths[class_id] = tuple(path)
+        self._flush_dirty()
+        self._plans.pop(class_id, None)
+        self._plan_pool = {
+            k: p for k, p in self._plan_pool.items() if k[0] != class_id
+        }
 
     def vswitch_at(self, switch: str) -> VSwitch:
         try:
@@ -79,6 +172,12 @@ class DataPlaneNetwork:
         packet to the local vSwitch (which may drop it on overload), after
         which forwarding resumes along the path.
         """
+        # Per-packet walk/vswitch spans are sampled (1 in SPAN_SAMPLE
+        # packets): recording every walk would cost a measurable fraction
+        # of the walk itself.
+        tick = self._span_tick = self._span_tick + 1
+        sample = not (tick & (self.SPAN_SAMPLE - 1))
+        started = perf_counter() if sample else 0.0
         path = self.class_paths.get(packet.class_id)
         if path is None:
             raise KeyError(f"class {packet.class_id!r} has no registered path")
@@ -96,11 +195,16 @@ class DataPlaneNetwork:
             decision = switch.process(packet)
             if decision is SwitchDecision.TO_HOST:
                 vsw = self.vswitch_at(sw_name)
-                out = vsw.process(packet, now)
+                if sample:
+                    vsw_started = perf_counter()
+                    out = vsw.process(packet, now)
+                    REGISTRY.record(
+                        "dataplane.vswitch.process", perf_counter() - vsw_started
+                    )
+                else:
+                    out = vsw.process(packet, now)
                 if out is None:
-                    record = DeliveryRecord(packet, delivered=False, dropped_at=sw_name)
-                    self.records.append(record)
-                    return record
+                    return self._record(started, packet, False, sw_name)
                 # Packet re-enters the switch from the host; if it is now
                 # tagged for this same switch again that is a rule bug.
                 if packet.host_tag == sw_name:
@@ -108,14 +212,10 @@ class DataPlaneNetwork:
                         f"packet re-tagged for the host it just left ({sw_name})"
                     )
             elif decision is SwitchDecision.DROP:
-                record = DeliveryRecord(packet, delivered=False, dropped_at=sw_name)
-                self.records.append(record)
-                return record
+                return self._record(started, packet, False, sw_name)
             # FORWARD: continue to the next switch on the path.
 
-        record = DeliveryRecord(packet, delivered=True)
-        self.records.append(record)
-        return record
+        return self._record(started, packet, True, None)
 
     def inject_from_host(self, packet: Packet, now: float = 0.0) -> DeliveryRecord:
         """Walk a packet that originates at a production VM in an APPLE host.
@@ -130,10 +230,288 @@ class DataPlaneNetwork:
         vsw = self.vswitch_at(packet.src)
         out = vsw.process_origin(packet, now)
         if out is None:
-            record = DeliveryRecord(packet, delivered=False, dropped_at=packet.src)
-            self.records.append(record)
-            return record
+            return self._record(0.0, packet, False, packet.src)
         return self.inject(packet, now=now)
+
+    def _record(
+        self,
+        started: float,
+        packet: Packet,
+        delivered: bool,
+        dropped_at: Optional[str],
+    ) -> DeliveryRecord:
+        record = DeliveryRecord(packet, delivered=delivered, dropped_at=dropped_at)
+        if delivered:
+            self.delivered_count += 1
+            if not packet.finished_processing:
+                self.violation_count += 1
+        else:
+            self.dropped_count += 1
+        self.recent_records.append(record)
+        if started:
+            REGISTRY.record("dataplane.walk.scalar", perf_counter() - started)
+        return record
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    def inject_batch(
+        self,
+        class_id: str,
+        flow_hashes: Sequence[float],
+        now: Union[float, Sequence[float]] = 0.0,
+        size_bytes: int = 1500,
+    ) -> List[Tuple[bool, Optional[str]]]:
+        """Walk a batch of same-class packets; returns per-packet outcomes.
+
+        Each outcome is ``(delivered, dropped_at)``, exactly what the
+        scalar walker's :class:`DeliveryRecord` would report for a packet
+        with that flow hash.  ``now`` is either one timestamp for the whole
+        batch or a sequence of per-packet timestamps (must be sorted, as a
+        real arrival stream is).
+        """
+        if isinstance(now, (int, float)):
+            t = float(now)
+            items = [(class_id, h, t) for h in flow_hashes]
+        else:
+            items = [(class_id, h, t) for h, t in zip(flow_hashes, now)]
+        return self.inject_stream(items, size_bytes=size_bytes, collect=True)
+
+    def inject_stream(
+        self,
+        items: Sequence[tuple],
+        size_bytes: int = 1500,
+        collect: bool = False,
+    ) -> Optional[List[Tuple[bool, Optional[str]]]]:
+        """Walk a time-ordered stream of ``(class_id, hash, now)`` items.
+
+        The workhorse behind :meth:`inject_batch` and the batched CBR
+        sources: items may interleave classes arbitrarily as long as the
+        timestamps are non-decreasing (sliding-window admission trims by
+        time).  Only instance admission runs per packet; everything else is
+        plan-resolved per hash bucket, and switch/ledger counter updates
+        accumulate on the plans until :meth:`flush_counters` (or any ledger
+        reader) applies them — all updates are commutative ``+=``, so the
+        deferral is observation-order only.
+        """
+        started = perf_counter()
+        snapshot = self._generation_snapshot()
+        if snapshot != self._plans_snapshot:
+            self._flush_dirty()  # pending counts reference the old plans
+            self._plans.clear()
+            self._plan_pool.clear()
+            self._plans_snapshot = snapshot
+        plans = self._plans
+        dirty = self._dirty_plans
+        size = size_bytes
+        outcomes: Optional[list] = [] if collect else None
+        for class_id, h, t in items:
+            cplans = plans.get(class_id)
+            if cplans is None:
+                cplans = plans[class_id] = {}
+            bucket = int(h * _BUCKETS)
+            plan = cplans.get(bucket)
+            if plan is None:
+                plan = self._resolve_plan(class_id, h)
+                if plan.cacheable:
+                    cplans[bucket] = plan
+            if plan.fallback:
+                packet = Packet(
+                    class_id=class_id,
+                    flow_hash=h,
+                    src=plan.src,
+                    dst=plan.dst,
+                    size_bytes=size,
+                )
+                record = self.inject(packet, now=t)
+                if collect:
+                    outcomes.append((record.delivered, record.dropped_at))
+                continue
+            if plan.n == 0:
+                dirty.append(plan)
+            plan.n += 1
+            dropped_step = -1
+            for si, step in enumerate(plan.vsteps):
+                ok = True
+                for inst, recent, budget, window in step[3]:
+                    if not inst.running:
+                        ok = False
+                        break
+                    st = inst.stats
+                    st.packets_in += 1
+                    cutoff = t - window
+                    if recent and recent[0] <= cutoff:
+                        i = 1
+                        lr = len(recent)
+                        while i < lr and recent[i] <= cutoff:
+                            i += 1
+                        del recent[:i]
+                    if len(recent) + 1 > budget:
+                        st.packets_dropped += 1
+                        ok = False
+                        break
+                    recent.append(t)
+                    st.packets_processed += 1
+                    st.bytes_processed += size
+                if not ok:
+                    plan.drops[si] += 1
+                    dropped_step = si
+                    break
+            if collect:
+                if dropped_step >= 0:
+                    outcomes.append(plan.step_outcomes[dropped_step])
+                else:
+                    outcomes.append(plan.final_outcome)
+        REGISTRY.record("dataplane.walk.batch", perf_counter() - started)
+        return outcomes
+
+    def flush_counters(self) -> None:
+        """Apply deferred batched-walk counts to switch/ledger counters.
+
+        Every ledger reader on this class calls it; code inspecting switch
+        or vSwitch counters directly after :meth:`inject_stream` /
+        :meth:`inject_batch` should call it first.
+        """
+        self._flush_dirty()
+
+    def _generation_snapshot(self) -> tuple:
+        """Current rule-state fingerprint: any mutation changes it."""
+        return (
+            tuple(sw.table.generation for sw in self._switch_list),
+            tuple(v.generation for v in self._vswitch_list),
+        )
+
+    def _resolve_plan(self, class_id: str, flow_hash: float) -> _WalkPlan:
+        """Walk a probe through the pipeline once, recording the plan.
+
+        The probe performs exactly the scalar walk's lookups and tag
+        writes, but against local tag variables instead of a packet and
+        without touching any counter.
+        """
+        started = perf_counter()
+        path = self.class_paths.get(class_id)
+        if path is None:
+            raise KeyError(f"class {class_id!r} has no registered path")
+        plan = _WalkPlan()
+        plan.src = path[0]
+        plan.dst = path[-1]
+        host_tag: Optional[str] = None
+        subclass_tag: Optional[int] = None
+        modified_headers = False
+        sig: List[int] = []  # matched-entry identity per hop
+        for hi, sw_name in enumerate(path):
+            switch = self.switches[sw_name]
+            table = switch.table
+            if not table.bucket_is_cacheable(flow_hash):
+                # A hash-range boundary splits this bucket: packets in it
+                # may match different entries, so no shared plan exists.
+                plan.cacheable = False
+                plan.fallback = True
+            entry = table.match(class_id, host_tag, flow_hash)
+            sig.append(0 if entry is None else id(entry))
+            if (
+                entry is not None
+                and entry.hash_range is not None
+                and modified_headers
+            ):
+                # A header-modifying VNF ran upstream, so the on-the-wire
+                # hash may no longer equal the probe's: hash-dependent
+                # classification past this point must run per packet.
+                plan.fallback = True
+            plan.hops.append((switch, table, entry is None))
+            if entry is None:
+                continue  # no rules: behave as pass-by
+            kind = entry.action.kind
+            if kind is ActionKind.GOTO_NEXT_TABLE:
+                continue
+            if kind is ActionKind.TAG_SUBCLASS_AND_HOST:
+                subclass_tag = entry.action.subclass_id
+                host_tag = entry.action.next_host
+                continue
+            if (
+                kind is ActionKind.FORWARD_TO_HOST
+                or kind is ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST
+            ):
+                if kind is ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST:
+                    subclass_tag = entry.action.subclass_id
+                vsw = self.vswitch_at(sw_name)
+                rule, instances = vsw.resolve(class_id, subclass_tag)
+                slots = []
+                for inst in instances:
+                    if inst.downstream is not None:
+                        # Downstream hooks see each packet: scalar only.
+                        plan.fallback = True
+                    if inst.nf_type.modifies_headers:
+                        modified_headers = True
+                    slots.append((inst, inst._recent, inst._budget, inst.window))
+                plan.vsteps.append((hi, sw_name, vsw, tuple(slots)))
+                plan.step_outcomes.append((False, sw_name))
+                plan.drops.append(0)
+                host_tag = rule.exit_host_tag
+                if host_tag == sw_name:
+                    raise RuntimeError(
+                        f"packet re-tagged for the host it just left ({sw_name})"
+                    )
+                continue
+            # DROP
+            plan.tcam_drop_at = sw_name
+            plan.final_outcome = (False, sw_name)
+            break
+        else:
+            plan.finished = host_tag == FIN
+            plan.final_outcome = (True, None)
+        if plan.cacheable:
+            # Every bucket matching the same entry sequence walks the same
+            # plan: share one object so accumulation batches across buckets.
+            key = (class_id, tuple(sig))
+            pooled = self._plan_pool.get(key)
+            if pooled is not None:
+                plan = pooled
+            else:
+                self._plan_pool[key] = plan
+        REGISTRY.record("dataplane.batch.resolve", perf_counter() - started)
+        return plan
+
+    def _flush_dirty(self) -> None:
+        """Apply each touched plan's accumulated counts to the counters.
+
+        A packet dropped at the vSwitch of hop *i* still visited switches
+        0..i, so per-hop counts start at the plan's total and shrink by the
+        per-step drop counts as the flush walks the path.
+        """
+        dirty = self._dirty_plans
+        if not dirty:
+            return
+        for plan in dirty:
+            n = plan.n
+            alive = n
+            drops = plan.drops
+            vsteps = plan.vsteps
+            nv = len(vsteps)
+            vi = 0
+            for hi, (sw, table, was_miss) in enumerate(plan.hops):
+                sw.packets_seen += alive
+                table.lookup_count += alive
+                if was_miss:
+                    table.miss_count += alive
+                while vi < nv and vsteps[vi][0] == hi:
+                    vsw = vsteps[vi][2]
+                    vsw.packets_in += alive
+                    d = drops[vi]
+                    if d:
+                        vsw.packets_dropped += d
+                        alive -= d
+                        drops[vi] = 0
+                    vi += 1
+            if plan.tcam_drop_at is None:
+                self.delivered_count += alive
+                self.dropped_count += n - alive
+                if not plan.finished:
+                    self.violation_count += alive
+            else:
+                self.dropped_count += n
+            plan.n = 0
+        dirty.clear()
 
     # ------------------------------------------------------------------
     # Accounting
@@ -146,13 +524,35 @@ class DataPlaneNetwork:
         return sum(self.tcam_usage_by_switch().values())
 
     def delivery_stats(self) -> Tuple[int, int, int]:
-        """(delivered, dropped, policy_violations) over recorded packets."""
-        delivered = sum(1 for r in self.records if r.delivered)
-        dropped = len(self.records) - delivered
-        violations = sum(
-            1 for r in self.records if r.delivered and not r.policy_satisfied
-        )
-        return delivered, dropped, violations
+        """(delivered, dropped, policy_violations); O(1) counter reads."""
+        self._flush_dirty()
+        return self.delivered_count, self.dropped_count, self.violation_count
 
     def reset_records(self) -> None:
-        self.records.clear()
+        """Zero the delivery ledger and the recent-record ring."""
+        self._flush_dirty()
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.violation_count = 0
+        self.recent_records.clear()
+
+    def reset_runtime_state(self) -> None:
+        """Zero every runtime counter while keeping rules (and plans) hot.
+
+        Benchmarks use this between repetitions: the installed rules, the
+        flow caches and the walk plans stay warm, but delivery counters,
+        switch/vSwitch counters and instance sliding windows start fresh.
+        """
+        self.reset_records()
+        for sw in self.switches.values():
+            sw.packets_seen = 0
+            sw.port_counters.clear()
+            table = sw.table
+            table.lookup_count = 0
+            table.miss_count = 0
+            table.cache_hits = 0
+        for vsw in self.vswitches.values():
+            vsw.packets_in = 0
+            vsw.packets_dropped = 0
+            for inst in vsw.instances():
+                inst.reset_runtime()

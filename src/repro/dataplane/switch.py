@@ -130,6 +130,32 @@ class PhysicalSwitch:
             return SwitchDecision.FORWARD
         return SwitchDecision.DROP
 
+    def resolve(
+        self, class_id: str, host_tag: Optional[str], flow_hash: float
+    ) -> tuple:
+        """Pipeline decision for raw header fields, without side effects.
+
+        Returns ``(decision, entry)``.  Unlike :meth:`process` this mutates
+        neither the packet (the caller applies the entry's tag writes) nor
+        the counters — the batched walker resolves a hash bucket's pipeline
+        once and bulk-updates counters afterwards.
+        """
+        entry = self.table.match(class_id, host_tag, flow_hash)
+        if entry is None:
+            return SwitchDecision.FORWARD, None
+        kind = entry.action.kind
+        if (
+            kind is ActionKind.FORWARD_TO_HOST
+            or kind is ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST
+        ):
+            return SwitchDecision.TO_HOST, entry
+        if (
+            kind is ActionKind.TAG_SUBCLASS_AND_HOST
+            or kind is ActionKind.GOTO_NEXT_TABLE
+        ):
+            return SwitchDecision.FORWARD, entry
+        return SwitchDecision.DROP, entry
+
     def tcam_usage(self) -> int:
         """Hardware TCAM slots consumed by APPLE rules at this switch."""
         return self.table.entry_count()

@@ -9,16 +9,45 @@ IDs, or fall through to the next table where other applications' rules
 Entry counts reported by :meth:`TcamTable.entry_count` use the *hardware*
 cost: a classification entry whose hash range needs k prefix rules counts
 as k TCAM entries (Sec. V-A's prefix method).
+
+Lookup fast path (the OVS architecture in miniature): real Open vSwitch
+puts an exact-match *flow cache* in front of its megaflow classifier so
+that only the first packet of a flow pays the full wildcard-match cost.
+:meth:`TcamTable.match` does the same here.  The cache key is
+``(class_id, host-tag, hash bucket)`` where the bucket quantises
+``flow_hash`` at :attr:`TcamEntry.HASH_BITS` resolution — the exact
+resolution the hardware prefix expansion uses.  Correctness:
+
+* the three key components are the only packet fields ``matches`` reads,
+  so a cached decision is wrong only if the matched entry could differ
+  *within* one hash bucket;
+* because the bucket width is 2**-HASH_BITS and scaling by a power of two
+  is exact in binary floating point, a hash-range boundary can split a
+  bucket only when ``boundary * 2**HASH_BITS`` is not an integer.  Buckets
+  containing such an interior boundary are collected per generation and
+  never cached — they always take the cold scan;
+* every mutation (:meth:`install`, :meth:`remove_where`, :meth:`clear`)
+  bumps a generation counter; the cache and the per-class index are
+  rebuilt lazily when the generation moves, so a stale entry can never be
+  served.
+
+Cold lookups use a class-id index (entries keyed by their exact
+``class_id`` plus the wildcard list) so they scan only entries that could
+possibly match, merged in priority order.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
+from functools import cached_property
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.classify.split import range_to_cidr_count
 from repro.dataplane.packet import Packet
+from repro.perf import REGISTRY
 
 
 class ActionKind(enum.Enum):
@@ -51,6 +80,10 @@ class TcamEntry:
         hash_range: ``[lo, hi)`` sub-range of the class's hash domain (the
             sub-class wildcard match); the hardware realisation needs
             :attr:`hardware_entries` prefix rules.
+
+    Match fields are treated as immutable once the entry is installed in a
+    table (the flow cache and the hardware-entry count rely on it); install
+    a fresh entry instead of mutating one in place.
     """
 
     priority: int
@@ -75,9 +108,14 @@ class TcamEntry:
                 return False
         return True
 
-    @property
+    @cached_property
     def hardware_entries(self) -> int:
-        """TCAM slots this logical entry occupies (prefix expansion)."""
+        """TCAM slots this logical entry occupies (prefix expansion).
+
+        Computed once per entry: experiments read it per snapshot via
+        :meth:`TcamTable.entry_count`, and the prefix expansion
+        (`range_to_cidr_count`) is by far the most expensive part.
+        """
         if self.hash_range is None:
             return 1
         lo, hi = self.hash_range
@@ -89,38 +127,191 @@ class TcamEntry:
         return range_to_cidr_count(start, stop, bits=self.HASH_BITS)
 
 
+#: Sentinel distinguishing "cached None (miss)" from "not cached".
+_NOT_CACHED = object()
+
+#: Number of exact-match buckets the hash domain is quantised into.
+_BUCKETS = 1 << TcamEntry.HASH_BITS
+
+
 class TcamTable:
-    """A priority-ordered TCAM table."""
+    """A priority-ordered TCAM table with an exact-match flow cache."""
 
     def __init__(self, name: str = "table0") -> None:
         self.name = name
         self._entries: List[TcamEntry] = []
+        #: Parallel list of ``-priority`` keys for O(log n) ordered insert.
+        self._prio_keys: List[int] = []
         self.lookup_count = 0
         self.miss_count = 0
+        self.cache_hits = 0
+        #: Disable to force the pre-fast-path linear scan (benchmarks use
+        #: this to reproduce the uncached baseline).
+        self.cache_enabled = True
+        self._generation = 0
+        self._hw_count = 0
+        # Flow cache + cold-scan index, rebuilt lazily per generation.
+        self._cache: Dict[Tuple[Optional[str], str, int], Optional[TcamEntry]] = {}
+        self._index_generation = -1
+        self._by_class: Dict[str, List[Tuple[int, TcamEntry]]] = {}
+        self._wildcard: List[Tuple[int, TcamEntry]] = []
+        self._boundary_buckets: frozenset = frozenset()
 
     # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped by every rule mutation."""
+        return self._generation
+
     def install(self, entry: TcamEntry) -> None:
-        """Insert keeping priority order (higher priority matched first)."""
-        self._entries.append(entry)
-        self._entries.sort(key=lambda e: -e.priority)
+        """Insert keeping priority order (higher priority matched first).
+
+        Uses a bisect insert on a parallel priority-key list, so bulk rule
+        installation costs O(n log n) comparisons total instead of a full
+        re-sort per insert.  Equal priorities keep insertion order (the
+        same tie-break the previous stable sort produced).
+        """
+        key = -entry.priority
+        idx = bisect_right(self._prio_keys, key)
+        self._prio_keys.insert(idx, key)
+        self._entries.insert(idx, entry)
+        self._hw_count += entry.hardware_entries
+        self._generation += 1
 
     def remove_where(self, predicate) -> int:
         """Remove entries satisfying ``predicate``; returns count removed."""
-        before = len(self._entries)
-        self._entries = [e for e in self._entries if not predicate(e)]
-        return before - len(self._entries)
+        kept = [e for e in self._entries if not predicate(e)]
+        removed = len(self._entries) - len(kept)
+        if removed:
+            self._entries = kept
+            self._prio_keys = [-e.priority for e in kept]
+            self._hw_count = sum(e.hardware_entries for e in kept)
+            self._generation += 1
+        return removed
 
     def clear(self) -> None:
         self._entries.clear()
+        self._prio_keys.clear()
+        self._hw_count = 0
+        self._generation += 1
 
     def lookup(self, packet: Packet) -> Optional[TcamEntry]:
         """First (highest-priority) matching entry, or None on miss."""
         self.lookup_count += 1
-        for entry in self._entries:
-            if entry.matches(packet):
-                return entry
-        self.miss_count += 1
+        entry = self.match(packet.class_id, packet.host_tag, packet.flow_hash)
+        if entry is None:
+            self.miss_count += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        class_id: Optional[str],
+        host_tag: Optional[str],
+        flow_hash: float,
+    ) -> Optional[TcamEntry]:
+        """Like :meth:`lookup` on raw fields, without the hit/miss counters.
+
+        This is the flow-cached fast path; the batched walker calls it
+        directly when resolving a bucket's pipeline once.
+        """
+        tag = host_tag if host_tag is not None else "EMPTY"
+        if not self.cache_enabled:
+            return self._scan_all(class_id, tag, flow_hash)
+        if self._index_generation != self._generation:
+            self._rebuild_index()
+        bucket = int(flow_hash * _BUCKETS)
+        key = (class_id, tag, bucket)
+        hit = self._cache.get(key, _NOT_CACHED)
+        if hit is not _NOT_CACHED:
+            self.cache_hits += 1
+            return hit
+        started = perf_counter()
+        entry = self._scan_indexed(class_id, tag, flow_hash)
+        if bucket not in self._boundary_buckets:
+            self._cache[key] = entry
+        REGISTRY.record("dataplane.tcam.cold_scan", perf_counter() - started)
+        return entry
+
+    def bucket_is_cacheable(self, flow_hash: float) -> bool:
+        """Whether the whole hash bucket of ``flow_hash`` matches uniformly.
+
+        False only for buckets containing an interior hash-range boundary;
+        the batched walker falls back to per-packet resolution there.
+        """
+        if self._index_generation != self._generation:
+            self._rebuild_index()
+        return int(flow_hash * _BUCKETS) not in self._boundary_buckets
+
+    @staticmethod
+    def _entry_matches(
+        e: TcamEntry, class_id: Optional[str], tag: str, flow_hash: float
+    ) -> bool:
+        if e.host_tag_is is not None and tag != e.host_tag_is:
+            return False
+        if e.class_id is not None and e.class_id != class_id:
+            return False
+        if e.hash_range is not None:
+            lo, hi = e.hash_range
+            if not lo <= flow_hash < hi:
+                return False
+        return True
+
+    def _scan_all(
+        self, class_id: Optional[str], tag: str, flow_hash: float
+    ) -> Optional[TcamEntry]:
+        """The pre-fast-path behaviour: linear scan over every entry."""
+        for e in self._entries:
+            if self._entry_matches(e, class_id, tag, flow_hash):
+                return e
         return None
+
+    def _scan_indexed(
+        self, class_id: Optional[str], tag: str, flow_hash: float
+    ) -> Optional[TcamEntry]:
+        """Cold lookup: merge the class's entries with the wildcard list.
+
+        Both index lists carry each entry's position in the full priority
+        order, so the merge visits candidates in exactly the order the
+        linear scan would.
+        """
+        a = self._by_class.get(class_id, []) if class_id is not None else []
+        b = self._wildcard
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la or j < lb:
+            if j >= lb or (i < la and a[i][0] < b[j][0]):
+                e = a[i][1]
+                i += 1
+            else:
+                e = b[j][1]
+                j += 1
+            if self._entry_matches(e, class_id, tag, flow_hash):
+                return e
+        return None
+
+    def _rebuild_index(self) -> None:
+        by_class: Dict[str, List[Tuple[int, TcamEntry]]] = {}
+        wildcard: List[Tuple[int, TcamEntry]] = []
+        boundaries = set()
+        for pos, e in enumerate(self._entries):
+            if e.class_id is None:
+                wildcard.append((pos, e))
+            else:
+                by_class.setdefault(e.class_id, []).append((pos, e))
+            if e.hash_range is not None:
+                for bound in e.hash_range:
+                    scaled = bound * _BUCKETS  # exact: power-of-two scale
+                    ib = int(scaled)
+                    if scaled != ib and 0 <= ib < _BUCKETS:
+                        boundaries.add(ib)
+        self._by_class = by_class
+        self._wildcard = wildcard
+        self._boundary_buckets = frozenset(boundaries)
+        self._cache = {}
+        self._index_generation = self._generation
 
     # ------------------------------------------------------------------
     @property
@@ -129,8 +320,8 @@ class TcamTable:
         return len(self._entries)
 
     def entry_count(self) -> int:
-        """Hardware TCAM slots consumed (prefix-expanded)."""
-        return sum(e.hardware_entries for e in self._entries)
+        """Hardware TCAM slots consumed (maintained incrementally)."""
+        return self._hw_count
 
     def entries(self) -> List[TcamEntry]:
         return list(self._entries)

@@ -50,6 +50,9 @@ class VSwitch:
         self._origin_rules: List[Tuple[str, Tuple[float, float], int, str]] = []
         self.packets_in = 0
         self.packets_dropped = 0
+        #: Bumped whenever rules or the instance set change; cached walk
+        #: plans in the network layer revalidate against it.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     def register_instance(
@@ -68,6 +71,7 @@ class VSwitch:
                 f"{instance.switch!r}, not {self.switch!r}"
             )
         self._instances[alias or instance.instance_id] = instance
+        self.generation += 1
 
     def deregister_instance(self, instance_id: str) -> None:
         self._instances.pop(instance_id, None)
@@ -76,6 +80,7 @@ class VSwitch:
         self._rules = {
             k: r for k, r in self._rules.items() if instance_id not in r.instance_ids
         }
+        self.generation += 1
 
     def install_rule(
         self,
@@ -91,9 +96,11 @@ class VSwitch:
                     f"vSwitch at {self.switch!r}: unknown instance {iid!r}"
                 )
         self._rules[(in_port, class_id, subclass_id)] = rule
+        self.generation += 1
 
     def clear_rules(self) -> None:
         self._rules.clear()
+        self.generation += 1
 
     @property
     def rule_count(self) -> int:
@@ -128,6 +135,26 @@ class VSwitch:
         packet.host_tag = rule.exit_host_tag
         return packet
 
+    def resolve(
+        self,
+        class_id: str,
+        subclass_tag: Optional[int],
+        in_port: str = UPLINK,
+    ) -> Tuple[VSwitchRule, Tuple[VNFInstance, ...]]:
+        """Rule + instance sequence for a key, without walking a packet.
+
+        Raises the same KeyError :meth:`process` would, so resolving a
+        batched walk plan surfaces rule-generation bugs identically.
+        """
+        key = (in_port, class_id, subclass_tag)
+        rule = self._rules.get(key)
+        if rule is None:
+            raise KeyError(
+                f"vSwitch at {self.switch!r}: no rule for {key!r} "
+                f"(installed: {sorted(self._rules)})"
+            )
+        return rule, tuple(self._instances[iid] for iid in rule.instance_ids)
+
     def instances(self) -> List[VNFInstance]:
         return list(self._instances.values())
 
@@ -143,6 +170,7 @@ class VSwitch:
     ) -> None:
         """Classification for packets born at a production VM in this host."""
         self._origin_rules.append((class_id, hash_range, sub_id, first_host))
+        self.generation += 1
 
     @property
     def origin_rule_count(self) -> int:

@@ -45,6 +45,10 @@ _QUICKABLE = {
 #: independent rows).
 _JOBSABLE = {"fig12", "table5", "failure_sweep"}
 
+#: Experiments whose run() accepts a batch size (packets per simulator
+#: event through the data-plane fast path).
+_BATCHABLE = {"packet_replay"}
+
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -69,6 +73,15 @@ def main(argv: List[str] = None) -> int:
         f"({', '.join(sorted(_JOBSABLE))}); default 1 (serial)",
     )
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="K",
+        help="packets per simulator event for experiments with a batched "
+        f"data-plane path ({', '.join(sorted(_BATCHABLE))}); default 1 "
+        "(event per packet); results are identical either way",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="also write the rendered results to FILE (markdown-friendly)",
@@ -85,6 +98,8 @@ def main(argv: List[str] = None) -> int:
             kwargs["quick"] = True
         if args.jobs > 1 and name in _JOBSABLE:
             kwargs["jobs"] = args.jobs
+        if args.batch > 1 and name in _BATCHABLE:
+            kwargs["batch"] = args.batch
         result = runner(**kwargs)
         result.elapsed_seconds = time.perf_counter() - started
         rendered = result.format()

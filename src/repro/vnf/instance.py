@@ -73,6 +73,11 @@ class VNFInstance:
         self.stats = InstanceStats()
         self.running = True
         self._recent: List[float] = []  # processed-packet timestamps in window
+        # Window budget in packets; NFType is frozen so this never changes.
+        # The batched walker reads _budget/_recent directly (see
+        # DataPlaneNetwork._execute_stream) — keep their semantics in sync
+        # with consume().
+        self._budget: float = float(nf_type.capacity_pps) * window
 
     # ------------------------------------------------------------------
     # Fluid model
@@ -114,8 +119,7 @@ class VNFInstance:
             now = self.sim.now
         self.stats.packets_in += 1
         self._trim(now)
-        budget = self.nf_type.capacity_pps * self.window
-        if len(self._recent) + 1 > budget:
+        if len(self._recent) + 1 > self._budget:
             self.stats.packets_dropped += 1
             return False
         self._recent.append(now)
@@ -136,6 +140,15 @@ class VNFInstance:
     def shutdown(self) -> None:
         """Stop the instance; further packets are dropped."""
         self.running = False
+
+    def reset_runtime(self) -> None:
+        """Zero the packet-level state (stats + sliding window).
+
+        Clears the window list in place so references held by cached walk
+        plans stay valid.
+        """
+        self.stats = InstanceStats()
+        self._recent.clear()
 
     def _trim(self, now: float) -> None:
         cutoff = now - self.window
