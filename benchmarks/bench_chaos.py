@@ -1,0 +1,89 @@
+"""Chaos-recovery benchmark: time-to-repair and convergence cost.
+
+Runs the deterministic failure study at smoke scale (internet2, one link
+flap + one VNF crash) and records both clocks:
+
+* **simulated** — time-to-repair and downtime, which the detection-latency
+  model and rule-install delay make deterministic for a fixed seed;
+* **wall** — what one controller convergence (re-solve + delta push)
+  actually costs, the number the warm-start and delta-install work exists
+  to keep small.
+
+Appends to the ``BENCH_chaos.json`` trajectory at the repo root.
+"""
+
+from repro.chaos import ChaosConfig, ChaosEngine, generate_schedule
+from repro.core.engine import EngineConfig
+from repro.experiments.harness import (
+    REPLAY_HEADROOM,
+    TOPOLOGY_DEMAND_MBPS,
+    standard_setup,
+)
+from repro.sim.kernel import Simulator
+
+_SEED = 3
+_HORIZON = 22.0
+
+
+def _chaos_run():
+    topo, controller, series = standard_setup(
+        "internet2",
+        snapshots=1,
+        seed=_SEED,
+        demand_mbps=TOPOLOGY_DEMAND_MBPS["internet2"],
+        engine_config=EngineConfig(capacity_headroom=REPLAY_HEADROOM),
+    )
+    sim = Simulator()
+    deployment = controller.run(series.snapshots[0], sim=sim)
+    schedule = generate_schedule(
+        topo,
+        ChaosConfig(
+            link_flaps=1,
+            host_crashes=0,
+            vnf_crashes=1,
+            brownouts=0,
+            window=(3.0, 10.0),
+            flap_duration=(4.0, 7.0),
+        ),
+        _SEED,
+        instance_keys=sorted(deployment.instances),
+        hosts_in_use=deployment.rules.hosts_in_use,
+    )
+    engine = ChaosEngine(sim, controller, schedule)
+    return engine.run(until=_HORIZON)
+
+
+def test_chaos_recovery_cost(record_bench_chaos):
+    result = _chaos_run()
+    m = result.metrics
+
+    # The study is only meaningful if every fault was seen and repaired
+    # interference-free: no convergence may leave policy violations behind.
+    assert result.faults_detected == result.faults_injected
+    assert all(c["verify_ok"] for c in m["convergences"])
+    assert result.final_policy_violations == 0
+    assert result.final_interference_violations == 0
+    assert m["policy_violation_seconds"] == 0
+
+    wall = result.wall_clock
+    record_bench_chaos(
+        "chaos_failure_recovery",
+        {
+            "topology": "internet2",
+            "seed": _SEED,
+            "horizon_s": _HORIZON,
+            "faults": result.faults_injected,
+            "detected": result.faults_detected,
+            "reconvergences": result.reconvergences,
+            "mean_detection_latency_s": m["mean_detection_latency"],
+            "mean_time_to_repair_s": m["mean_time_to_repair"],
+            "max_time_to_repair_s": m["max_time_to_repair"],
+            "downtime_s": m["downtime_seconds"],
+            "probes_sent": m["probes_sent"],
+            "probes_dropped": m["probes_dropped"],
+            "flow_mods": sum(c["flow_mods"] for c in m["convergences"]),
+            "warm_starts": sum(1 for c in m["convergences"] if c["warm_start"]),
+            "total_convergence_wall_s": wall["total_convergence_wall_seconds"],
+            "convergence_wall_s": wall["convergence_wall_seconds"],
+        },
+    )

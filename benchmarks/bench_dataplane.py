@@ -83,7 +83,7 @@ def _run_scalar(plan, network, cache_enabled):
     elapsed = time.perf_counter() - started
     for src in sources:
         src.stop()
-    return sent[0], elapsed, network.delivery_stats()
+    return sent[0], elapsed, network.stats_snapshot()
 
 
 def _run_batched(plan, network):
@@ -116,7 +116,7 @@ def _run_batched(plan, network):
     sim.run(until=DURATION)
     elapsed = time.perf_counter() - started
     mux.stop()
-    return sent[0], elapsed, network.delivery_stats()
+    return sent[0], elapsed, network.stats_snapshot()
 
 
 def _best_pps(runner):
@@ -150,7 +150,7 @@ def test_batched_walk_speedup(record_bench_dataplane):
     assert batched_sent == sent
     assert cached_stats == scalar_stats
     assert batched_stats == scalar_stats
-    delivered, dropped, violations = batched_stats
+    delivered, dropped, violations = batched_stats.as_tuple()
     assert violations == 0
 
     speedup = batched_pps / scalar_pps

@@ -1,13 +1,26 @@
 """Shared benchmark fixtures: result reporting and the perf trajectories.
 
-``record_bench`` appends measurements to ``BENCH_engine.json`` at the repo
-root; ``record_bench_dataplane`` does the same for ``BENCH_dataplane.json``.
-Each file is a *trajectory*: a JSON list that grows by one entry per
-recorded benchmark run, so successive commits can be compared without
-re-running history.
+Every ``BENCH_*.json`` file at the repo root is a *trajectory*: a JSON
+list that grows by one entry per recorded benchmark run, so successive
+commits can be compared without re-running history.  All entries share a
+unified schema (the S6 satellite of the chaos PR)::
+
+    {
+      "bench":     <benchmark name>,
+      "unix_time": <seconds since epoch>,
+      "git_sha":   <HEAD commit, or "unknown" outside a checkout>,
+      "machine":   {"platform": ..., "python": ..., "cpus": ...},
+      "metrics":   {<benchmark-specific measurements>}
+    }
+
+``record_bench`` targets ``BENCH_engine.json``, ``record_bench_dataplane``
+``BENCH_dataplane.json``, and ``record_bench_chaos`` ``BENCH_chaos.json``.
 """
 
 import json
+import os
+import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -16,6 +29,7 @@ import pytest
 _ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = _ROOT / "BENCH_engine.json"
 BENCH_DATAPLANE_FILE = _ROOT / "BENCH_dataplane.json"
+BENCH_CHAOS_FILE = _ROOT / "BENCH_chaos.json"
 
 
 def report(result) -> None:
@@ -29,7 +43,30 @@ def print_result():
     return report
 
 
-def _append_to(path: Path, name: str, payload: dict) -> None:
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _append_to(path: Path, name: str, metrics: dict) -> None:
     entries = []
     if path.exists():
         try:
@@ -38,25 +75,38 @@ def _append_to(path: Path, name: str, payload: dict) -> None:
             entries = []
         if not isinstance(entries, list):
             entries = [entries]
-    entries.append({"bench": name, "unix_time": round(time.time(), 1), **payload})
+    entries.append(
+        {
+            "bench": name,
+            "unix_time": round(time.time(), 1),
+            "git_sha": _git_sha(),
+            "machine": _machine_info(),
+            "metrics": metrics,
+        }
+    )
     path.write_text(json.dumps(entries, indent=2) + "\n")
 
 
-def _append_bench(name: str, payload: dict) -> None:
-    _append_to(BENCH_FILE, name, payload)
+def _appender(path: Path):
+    def _append(name: str, metrics: dict) -> None:
+        _append_to(path, name, metrics)
+
+    return _append
 
 
 @pytest.fixture(scope="session")
 def record_bench():
-    """Append ``{bench: name, ...payload}`` to the BENCH_engine.json trajectory."""
-    return _append_bench
+    """Append a unified-schema entry to the BENCH_engine.json trajectory."""
+    return _appender(BENCH_FILE)
 
 
 @pytest.fixture(scope="session")
 def record_bench_dataplane():
-    """Same trajectory appender, targeting ``BENCH_dataplane.json``."""
+    """Same appender, targeting ``BENCH_dataplane.json``."""
+    return _appender(BENCH_DATAPLANE_FILE)
 
-    def _append(name: str, payload: dict) -> None:
-        _append_to(BENCH_DATAPLANE_FILE, name, payload)
 
-    return _append
+@pytest.fixture(scope="session")
+def record_bench_chaos():
+    """Same appender, targeting ``BENCH_chaos.json``."""
+    return _appender(BENCH_CHAOS_FILE)

@@ -1,0 +1,148 @@
+"""Heartbeat/threshold failure detection, layered on cloud monitoring.
+
+The detector models the orchestrator's monitoring plane (Fig. 1's
+"monitors the available resource on APPLE hosts and reports"): every
+``heartbeat_interval`` seconds each monitored entity — VNF VM, APPLE
+host, link — is expected to report.  A dead VM, crashed host, or downed
+link reports nothing; after ``miss_threshold`` consecutive silent ticks
+the entity is declared failed (once), giving the configurable
+detection-latency model
+
+    detection latency ≈ heartbeat_interval × miss_threshold
+
+Health thresholds ride on the same heartbeats: a VM whose reported
+effective capacity drops below ``degraded_capacity_ratio`` × nominal for
+``miss_threshold`` consecutive reports is declared degraded (a brownout).
+Link recovery (a flap lifting) is detected symmetrically when a suspect
+link resumes beating, so the controller can converge back onto primary
+paths.
+
+The suspicion book-keeping is :class:`repro.cloud.monitoring.LivenessTracker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.chaos.schedule import LINK_SEP
+from repro.cloud.monitoring import LivenessTracker
+from repro.core.controller import AppleController
+from repro.sim.kernel import Simulator, Timer
+from repro.topology.graph import Topology
+
+
+@dataclass
+class DetectorConfig:
+    """The detection-latency model's knobs."""
+
+    heartbeat_interval: float = 0.5
+    miss_threshold: int = 2
+    #: A VM reporting less than this fraction of nominal capacity is
+    #: (after miss_threshold consecutive reports) declared degraded.
+    degraded_capacity_ratio: float = 0.9
+
+    @property
+    def detection_latency(self) -> float:
+        """The model's nominal latency from fault to declaration."""
+        return self.heartbeat_interval * self.miss_threshold
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector verdict."""
+
+    time: float
+    kind: str  # "instance" | "host" | "link" | "brownout" | "link-restored"
+    target: str
+
+
+class FailureDetector:
+    """Periodic heartbeat scan over the live deployment.
+
+    Args:
+        sim: shared simulator (heartbeats ride on its clock).
+        controller: monitored deployment + topology ground truth.
+        config: latency model.
+        on_detect: callback receiving each tick's fresh detections
+            (recovery's entry point).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: AppleController,
+        config: Optional[DetectorConfig] = None,
+        on_detect: Optional[Callable[[List[Detection]], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.config = config or DetectorConfig()
+        self.on_detect = on_detect
+        threshold = self.config.miss_threshold
+        self._instances = LivenessTracker(threshold)
+        self._hosts = LivenessTracker(threshold)
+        self._links = LivenessTracker(threshold)
+        self._health = LivenessTracker(threshold)
+        self.detections: List[Detection] = []
+        self._timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._timer = self.sim.every(self.config.heartbeat_interval, self.tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def tick(self) -> List[Detection]:
+        """One heartbeat round; returns (and dispatches) fresh detections."""
+        now = self.sim.now
+        topo = self.controller.topo
+        deployment = self.controller.deployment
+        found: List[Detection] = []
+
+        if deployment is not None:
+            for key in sorted(deployment.instances):
+                inst = deployment.instances[key]
+                alive = inst.running and not topo.host_failed(inst.switch)
+                if alive:
+                    self._instances.beat(key, now)
+                    # The heartbeat carries a capacity self-report.
+                    nominal = inst.nf_type.capacity_mbps
+                    ratio = self.config.degraded_capacity_ratio
+                    if inst.effective_capacity_mbps < ratio * nominal:
+                        if self._health.miss(key):
+                            found.append(Detection(now, "brownout", key))
+                    else:
+                        self._health.beat(key, now)
+                else:
+                    if self._instances.miss(key):
+                        found.append(Detection(now, "instance", key))
+
+        for switch in sorted(topo.hosts):
+            if topo.host_failed(switch):
+                if self._hosts.miss(switch):
+                    found.append(Detection(now, "host", switch))
+            else:
+                self._hosts.beat(switch, now)
+
+        for link in topo.links:
+            u, v = Topology.link_key(link.u, link.v)
+            key = f"{u}{LINK_SEP}{v}"
+            if topo.link_failed(u, v):
+                if self._links.miss(key):
+                    found.append(Detection(now, "link", key))
+            else:
+                if self._links.is_suspect(key):
+                    # The flap lifted: converge back onto primary paths.
+                    found.append(Detection(now, "link-restored", key))
+                self._links.beat(key, now)
+
+        if found:
+            self.detections.extend(found)
+            if self.on_detect is not None:
+                self.on_detect(found)
+        return found

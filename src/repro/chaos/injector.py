@@ -1,0 +1,126 @@
+"""The fault injector: applies a schedule to a live simulation.
+
+Each :class:`~repro.chaos.schedule.FaultEvent` becomes one (or, for
+self-lifting faults, two) sim-kernel events.  Applying a fault mutates the
+*ground truth* only — the topology failure overlay, the data-plane failed
+link set, and the affected VNF instances — never the controller's view;
+the detector has to notice, and recovery has to react, exactly as in a
+real deployment.
+
+Invalidation contract: a VM kill or brownout changes state that cached
+batched-walk plans captured by value (instance admission budgets), and a
+link failure changes which hops are reachable, so every applied or lifted
+fault bumps the network's plan-invalidation epoch
+(:meth:`DataPlaneNetwork.invalidate_plans` / ``set_link_failed``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import perf
+from repro.chaos.metrics import ChaosMetrics
+from repro.chaos.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.core.controller import AppleController
+from repro.sim.kernel import Simulator
+from repro.vnf.instance import VNFInstance
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` on a simulator and applies its faults.
+
+    Args:
+        sim: the shared simulator.
+        controller: the live controller (its ``deployment`` and ``topo``
+            are the ground truth being broken).
+        schedule: what to break, when.
+        metrics: event-plane recorder.
+        on_fault: optional hook per applied fault (tests use it).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: AppleController,
+        schedule: FaultSchedule,
+        metrics: ChaosMetrics,
+        on_fault: Optional[Callable[[FaultEvent], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.schedule = schedule
+        self.metrics = metrics
+        self.on_fault = on_fault
+        self.applied: List[FaultEvent] = []
+        #: Brownout target objects, so a lift never restores a replacement.
+        self._browned: Dict[str, VNFInstance] = {}
+
+    # ------------------------------------------------------------------
+    def arm(self) -> int:
+        """Schedule every fault (and lift) on the simulator; returns count."""
+        for event in self.schedule:
+            self.sim.schedule_at(event.time, self._apply, args=(event,))
+            if event.lift_time is not None:
+                self.sim.schedule_at(event.lift_time, self._lift, args=(event,))
+        return len(self.schedule)
+
+    # ------------------------------------------------------------------
+    def _deployment(self):
+        deployment = self.controller.deployment
+        if deployment is None:
+            raise RuntimeError("fault injection needs a deployed placement")
+        return deployment
+
+    def _kill_instance(self, instance: VNFInstance) -> None:
+        instance.shutdown()
+
+    def _apply(self, event: FaultEvent) -> None:
+        with perf.span("chaos.inject"):
+            deployment = self._deployment()
+            network = deployment.network
+            topo = self.controller.topo
+            if event.kind is FaultKind.LINK_FLAP:
+                u, v = event.link_endpoints()
+                topo.fail_link(u, v)
+                network.set_link_failed(u, v, True)
+            elif event.kind is FaultKind.HOST_CRASH:
+                topo.fail_host(event.target)
+                seen = set()
+                for inst in network.vswitch_at(event.target).instances():
+                    if id(inst) not in seen:
+                        seen.add(id(inst))
+                        self._kill_instance(inst)
+                network.invalidate_plans()
+            elif event.kind is FaultKind.VNF_CRASH:
+                inst = deployment.instances.get(event.target)
+                if inst is not None and inst.running:
+                    self._kill_instance(inst)
+                    network.invalidate_plans()
+            elif event.kind is FaultKind.BROWNOUT:
+                inst = deployment.instances.get(event.target)
+                if inst is not None and inst.running:
+                    inst.degrade(event.severity)
+                    self._browned[event.target] = inst
+                    network.invalidate_plans()
+            self.applied.append(event)
+            self.metrics.fault_applied(event, self.sim.now)
+            if self.on_fault is not None:
+                self.on_fault(event)
+
+    def _lift(self, event: FaultEvent) -> None:
+        deployment = self._deployment()
+        network = deployment.network
+        topo = self.controller.topo
+        if event.kind is FaultKind.LINK_FLAP:
+            u, v = event.link_endpoints()
+            topo.restore_link(u, v)
+            network.set_link_failed(u, v, False)
+        elif event.kind is FaultKind.BROWNOUT:
+            target = self._browned.pop(event.target, None)
+            current = deployment.instances.get(event.target)
+            # Restore only if the degraded VM is still the one in service —
+            # recovery may have replaced it with a fresh instance already.
+            if target is not None and current is target and target.running:
+                target.restore_full()
+                network.invalidate_plans()
+        self.metrics.fault_lifted(event, self.sim.now)

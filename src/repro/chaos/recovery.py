@@ -1,0 +1,298 @@
+"""Interference-free recovery: the controller's reaction to detections.
+
+Pipeline (one reconvergence per detector verdict batch):
+
+1. **reclassify** — every class whose routing path crosses a failed link
+   is re-routed by the routing application over the surviving topology
+   (interference freedom is *relative to routing*: APPLE follows the
+   routing paths it is given, so when routing re-converges the class's
+   registered path changes with it).  Classes with no surviving path, or
+   no live APPLE host on it, are *stranded*.
+2. **re-place** — the Optimization Engine re-solves over surviving
+   resources (crashed hosts contribute zero cores).  Re-solves with an
+   unchanged class/host structure hit the PR-1 ``PlacementTemplate``
+   cache and warm-start.
+3. **push deltas** — after ``rule_install_delay`` (the modelled flow-mod
+   push latency) the new rules are applied as TCAM/flow-mod *deltas*
+   (:meth:`RuleGenerator.install_delta`): untouched switches keep their
+   flow caches and walk plans warm.  Stranded classes get an ingress
+   quarantine DROP rule — their traffic must black-hole, never pass
+   unprocessed.
+4. **verify** — :func:`repro.core.verify.verify_deployment` re-checks
+   policy enforcement, interference freedom and isolation on the new
+   deployment; the report lands in the convergence record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro import perf
+from repro.chaos.detector import Detection
+from repro.chaos.metrics import ChaosMetrics, ConvergenceRecord
+from repro.core.controller import AppleController, Deployment
+from repro.core.engine import PlacementError
+from repro.core.placement import PlacementPlan
+from repro.core.subclasses import assign_subclasses
+from repro.core.verify import verify_deployment
+from repro.dataplane.network import DataPlaneNetwork
+from repro.dataplane.switch import PRIORITY_CLASSIFICATION, PRIORITY_PASS_BY
+from repro.dataplane.tcam import Action, ActionKind, TcamEntry
+from repro.sim.kernel import Simulator
+from repro.topology.graph import Topology
+from repro.topology.routing import Router
+from repro.traffic.classes import TrafficClass
+
+#: Quarantine sits between classification and pass-by: a placed class's
+#: classification always wins; unclassified stranded traffic never leaks.
+PRIORITY_QUARANTINE = (PRIORITY_CLASSIFICATION + PRIORITY_PASS_BY) // 2
+
+_QUARANTINE_PREFIX = "quarantine/"
+
+
+@dataclass
+class RecoveryConfig:
+    """Reaction-path tunables."""
+
+    #: Modelled latency between the solve and the rules taking effect
+    #: (flow-mod push + switch apply).
+    rule_install_delay: float = 0.1
+    #: Run the core verifier after every convergence.
+    verify_after_convergence: bool = True
+
+
+class RecoveryManager:
+    """Drives re-placement and delta rule pushes on detector verdicts.
+
+    Args:
+        sim: shared simulator (commit latency rides on its clock).
+        controller: the live controller; its ``deployment`` is swapped
+            atomically at each commit (the data-plane network object is
+            reused — rules mutate in place, exactly like a real switch
+            fabric).
+        metrics: event-plane recorder.
+        config: reaction tunables.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: AppleController,
+        metrics: ChaosMetrics,
+        config: Optional[RecoveryConfig] = None,
+    ) -> None:
+        if controller.deployment is None:
+            raise RuntimeError("recovery needs a deployed placement")
+        self.sim = sim
+        self.controller = controller
+        self.metrics = metrics
+        self.config = config or RecoveryConfig()
+        #: The routing application's original input: classes at full rate
+        #: on their primary paths.  Recovery always re-derives from this,
+        #: so lifted faults converge back to the primary placement.
+        self.base_classes: List[TrafficClass] = list(
+            controller.deployment.plan.classes
+        )
+        #: Slot keys whose current VM is known-dead (detector verdicts).
+        self.failed_instance_keys: Set[str] = set()
+        #: Class ids currently quarantined (no surviving path/host).
+        self.stranded_ids: Set[str] = set()
+        self.reconvergences = 0
+
+    # ------------------------------------------------------------------
+    def on_detections(self, detections: Sequence[Detection]) -> None:
+        """Detector callback: record verdicts, react, reconverge once."""
+        deployment = self.controller.deployment
+        network = deployment.network
+        for d in detections:
+            self.metrics.detection(d.kind, d.target, d.time)
+            if d.kind == "instance":
+                self.failed_instance_keys.add(d.target)
+            elif d.kind == "brownout":
+                # Operator policy: a degraded VM is replaced, not nursed.
+                inst = deployment.instances.get(d.target)
+                if inst is not None and inst.running:
+                    inst.shutdown()
+                    network.invalidate_plans()
+                self.failed_instance_keys.add(d.target)
+        self._reconverge(tuple(f"{d.kind}:{d.target}" for d in detections))
+
+    # ------------------------------------------------------------------
+    def _reconverge(self, trigger: Tuple[str, ...]) -> None:
+        with perf.span("chaos.recovery"):
+            wall0 = perf_counter()
+            controller = self.controller
+            topo = controller.topo
+            failed_links = topo.failed_links
+            router = Router(topo.surviving(), ecmp=controller.router.ecmp)
+            cores = {
+                s: spec.cores
+                for s, spec in topo.hosts.items()
+                if not topo.host_failed(s)
+            }
+            memory = {
+                s: spec.memory_gb
+                for s, spec in topo.hosts.items()
+                if not topo.host_failed(s)
+            }
+
+            new_classes: List[TrafficClass] = []
+            stranded: List[TrafficClass] = []
+            rerouted = 0
+            for cls in self.base_classes:
+                path = cls.path
+                crossed = any(
+                    Topology.link_key(a, b) in failed_links
+                    for a, b in zip(path, path[1:])
+                )
+                if crossed:
+                    try:
+                        path = router.path(cls.src, cls.dst)
+                    except nx.NetworkXNoPath:
+                        stranded.append(cls)
+                        continue
+                if not any(cores.get(s, 0) > 0 for s in path):
+                    stranded.append(cls)
+                    continue
+                if tuple(path) != cls.path:
+                    rerouted += 1
+                    cls = replace(cls, path=tuple(path))
+                new_classes.append(cls)
+
+            warm_before = controller.engine.warm_solves
+            try:
+                if new_classes:
+                    plan = controller.engine.place(new_classes, cores, memory)
+                else:
+                    # Everything stranded: nothing to place, but the commit
+                    # must still run so the stranded classes get quarantined.
+                    plan = PlacementPlan(
+                        quantities={},
+                        distribution={},
+                        classes=[],
+                        catalog=controller.catalog,
+                        objective=0.0,
+                    )
+            except PlacementError as exc:
+                self.metrics.convergence(
+                    ConvergenceRecord(
+                        time=self.sim.now,
+                        trigger=trigger,
+                        classes=len(new_classes),
+                        rerouted=rerouted,
+                        stranded=len(stranded),
+                        warm_start=False,
+                        switches_updated=0,
+                        flow_mods=0,
+                        vswitch_updates=0,
+                        instances_created=0,
+                        failed=True,
+                        failure_reason=str(exc),
+                        wall_seconds=perf_counter() - wall0,
+                    )
+                )
+                return
+            warm = controller.engine.warm_solves > warm_before
+            subclass_plan = assign_subclasses(plan)
+            rules = controller.rule_generator.generate(plan.classes, subclass_plan)
+            solve_wall = perf_counter() - wall0
+        self.reconvergences += 1
+        self.sim.schedule(
+            self.config.rule_install_delay,
+            self._commit,
+            args=(plan, subclass_plan, rules, trigger, stranded, rerouted, warm, solve_wall),
+        )
+
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        plan,
+        subclass_plan,
+        rules,
+        trigger: Tuple[str, ...],
+        stranded: List[TrafficClass],
+        rerouted: int,
+        warm: bool,
+        solve_wall: float,
+    ) -> None:
+        with perf.span("chaos.rule_push"):
+            wall0 = perf_counter()
+            controller = self.controller
+            topo = controller.topo
+            deployment = controller.deployment
+            network = deployment.network
+            surviving = {
+                key: inst
+                for key, inst in deployment.instances.items()
+                if inst.running
+                and not topo.host_failed(inst.switch)
+                and key not in self.failed_instance_keys
+            }
+            inst_map, delta = controller.rule_generator.install_delta(
+                rules,
+                network,
+                plan.classes,
+                previous=deployment.rules,
+                sim=self.sim,
+                instances=surviving,
+            )
+            controller.deployment = Deployment(
+                plan, subclass_plan, rules, network, inst_map
+            )
+            self._apply_quarantine(network, plan, stranded)
+            self.failed_instance_keys = {
+                key for key, inst in inst_map.items() if not inst.running
+            }
+            self.stranded_ids = {c.class_id for c in stranded}
+            push_wall = perf_counter() - wall0
+
+        record = ConvergenceRecord(
+            time=self.sim.now,
+            trigger=trigger,
+            classes=len(plan.classes),
+            rerouted=rerouted,
+            stranded=len(stranded),
+            warm_start=warm,
+            switches_updated=delta.switches_updated,
+            flow_mods=delta.flow_mods,
+            vswitch_updates=delta.vswitch_updates,
+            instances_created=delta.instances_created,
+            wall_seconds=solve_wall + push_wall,
+        )
+        if self.config.verify_after_convergence:
+            report = verify_deployment(controller.deployment, topo)
+            record.verify_summary = report.summary()
+            record.verify_ok = report.ok
+        self.metrics.convergence(record)
+
+    # ------------------------------------------------------------------
+    def _apply_quarantine(
+        self,
+        network: DataPlaneNetwork,
+        plan,
+        stranded: Sequence[TrafficClass],
+    ) -> None:
+        """Ingress DROP for stranded classes; lift it for recovered ones."""
+        placed = {c.class_id for c in plan.classes}
+        for sw in network.switches.values():
+            sw.table.remove_where(
+                lambda e: e.name.startswith(_QUARANTINE_PREFIX)
+                and e.class_id in placed
+            )
+        for cls in stranded:
+            sw = network.switches[cls.src]
+            name = f"{_QUARANTINE_PREFIX}{cls.class_id}"
+            if any(e.name == name for e in sw.table.entries()):
+                continue
+            sw.table.install(
+                TcamEntry(
+                    priority=PRIORITY_QUARANTINE,
+                    action=Action(ActionKind.DROP),
+                    class_id=cls.class_id,
+                    name=name,
+                )
+            )

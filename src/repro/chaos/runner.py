@@ -1,0 +1,157 @@
+"""The chaos engine: schedule + injector + detector + recovery, one run.
+
+:class:`ChaosEngine` wires the whole failure study onto one simulator:
+
+* the **injector** arms the deterministic fault schedule,
+* the **detector** heartbeat-scans the deployment,
+* the **recovery manager** reconverges on each verdict batch,
+* the **probe loop** scores the data plane at a fixed cadence.
+
+:meth:`ChaosEngine.run` drives the simulation and returns a
+:class:`ChaosRunResult` whose ``metrics`` dict is bit-identical across
+same-seed runs; wall-clock costs and the final verification report ride
+alongside, outside the deterministic part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.detector import DetectorConfig, FailureDetector
+from repro.chaos.injector import FaultInjector
+from repro.chaos.metrics import ChaosMetrics, ProbeLoop
+from repro.chaos.recovery import RecoveryConfig, RecoveryManager
+from repro.chaos.schedule import FaultSchedule
+from repro.core.controller import AppleController
+from repro.core.verify import verify_deployment
+from repro.dataplane.network import NetworkStats
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything a failure-recovery experiment reports about one run."""
+
+    seed: int
+    faults_injected: int
+    faults_detected: int
+    reconvergences: int
+    #: Deterministic metrics export (bit-identical across same-seed runs).
+    metrics: dict
+    #: Wall-clock convergence costs (reported, never compared).
+    wall_clock: dict
+    schedule_signature: str
+    final_verify_ok: bool
+    final_verify_summary: str
+    final_policy_violations: int
+    final_interference_violations: int
+    network_stats: NetworkStats
+
+    def signature(self) -> str:
+        """Canonical determinism signature: schedule + metrics + ledger."""
+        import json
+
+        return json.dumps(
+            {
+                "schedule": self.schedule_signature,
+                "metrics": self.metrics,
+                "ledger": list(self.network_stats.as_tuple()),
+            },
+            sort_keys=True,
+        )
+
+
+class ChaosEngine:
+    """One-stop wiring of the fault-injection study onto a simulator.
+
+    Args:
+        sim: the shared simulator (traffic, heartbeats and faults all ride
+            on its clock).
+        controller: a controller with a live deployment.
+        schedule: the deterministic fault schedule (may be empty — an
+            empty schedule attached must leave the run bit-identical to a
+            plain run, the no-op regression).
+        detector_config: detection-latency model.
+        recovery_config: reaction-path tunables.
+        probe_interval: traffic-plane sampling cadence (seconds).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: AppleController,
+        schedule: FaultSchedule,
+        detector_config: Optional[DetectorConfig] = None,
+        recovery_config: Optional[RecoveryConfig] = None,
+        probe_interval: float = 0.25,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.schedule = schedule
+        self.metrics = ChaosMetrics()
+        self.metrics.probe_interval = probe_interval
+        self.recovery = RecoveryManager(
+            sim, controller, self.metrics, recovery_config
+        )
+        self.detector = FailureDetector(
+            sim, controller, detector_config, on_detect=self.recovery.on_detections
+        )
+        self.injector = FaultInjector(sim, controller, schedule, self.metrics)
+        self.probes = ProbeLoop(
+            sim,
+            lambda: controller.deployment,
+            interval=probe_interval,
+            on_tick=self.metrics.record_tick,
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the schedule and start the detector + probe timers."""
+        if self._started:
+            return
+        self._started = True
+        self.injector.arm()
+        self.detector.start()
+        self.probes.start()
+
+    def run(self, until: float) -> ChaosRunResult:
+        """Drive the simulation to ``until`` and finalize."""
+        self.start()
+        self.sim.run(until=until)
+        return self.finalize()
+
+    def finalize(self) -> ChaosRunResult:
+        """Stop timers, snapshot metrics, run the final verification.
+
+        The deterministic metrics dict is snapshotted *before* the final
+        verification probes pollute the delivery ledger, then the ledger
+        itself is read last so the reported stats include every probe.
+        """
+        self.detector.stop()
+        self.probes.stop()
+        metrics_dict = self.metrics.to_dict()
+        wall = self.metrics.wall_clock()
+        report = verify_deployment(
+            self.controller.deployment, self.controller.topo
+        )
+        policy = sum(1 for v in report.violations if v.kind == "policy")
+        interference = sum(
+            1 for v in report.violations if v.kind == "interference"
+        )
+        stats = self.controller.deployment.network.stats_snapshot()
+        return ChaosRunResult(
+            seed=self.schedule.seed,
+            faults_injected=len(self.injector.applied),
+            faults_detected=self.metrics.detected_count(),
+            reconvergences=self.recovery.reconvergences,
+            metrics=metrics_dict,
+            wall_clock=wall,
+            schedule_signature=self.schedule.signature(),
+            final_verify_ok=report.ok,
+            final_verify_summary=report.summary(),
+            final_policy_violations=policy,
+            final_interference_violations=interference,
+            network_stats=stats,
+        )

@@ -55,6 +55,17 @@ class GeneratedRules:
         return sum(len(rs.classifications) for rs in self.switch_rule_sets.values())
 
 
+@dataclass
+class RuleDelta:
+    """What :meth:`RuleGenerator.install_delta` actually pushed."""
+
+    switches_updated: int = 0
+    flow_mods: int = 0
+    vswitch_updates: int = 0
+    instances_created: int = 0
+    paths_updated: int = 0
+
+
 class RuleGenerator:
     """Computes and installs data-plane rules for a sub-class plan.
 
@@ -221,6 +232,116 @@ class RuleGenerator:
                 sw.install_pass_by()
 
         return inst_map
+
+    # ------------------------------------------------------------------
+    def install_delta(
+        self,
+        rules: GeneratedRules,
+        network: DataPlaneNetwork,
+        classes: Sequence[TrafficClass],
+        previous: Optional[GeneratedRules],
+        sim: Optional[Simulator] = None,
+        instances: Optional[Dict[str, VNFInstance]] = None,
+    ) -> Tuple[Dict[str, VNFInstance], RuleDelta]:
+        """Apply only what changed since ``previous`` (TCAM/flow-mod deltas).
+
+        The recovery path's installer: a re-placement after a localised
+        fault usually leaves most switches' rule sets identical, and a
+        full reinstall would clear every TCAM table — invalidating every
+        flow cache and walk plan network-wide for no reason.  This applies
+        per-switch rule sets, per-vSwitch rule tables, class-path updates
+        and instance (re-)registrations only where they differ from
+        ``previous``, and reports the push volume in a :class:`RuleDelta`.
+
+        With ``previous=None`` this degrades to a full :meth:`install`
+        (every rule counts as pushed).
+
+        Returns:
+            ``(instance_map, delta)``.
+        """
+        delta = RuleDelta()
+        if previous is None:
+            inst_map = self.install(
+                rules, network, classes, sim=sim, instances=instances
+            )
+            delta.switches_updated = len(network.switches)
+            delta.flow_mods = sum(
+                sw.table.logical_entries for sw in network.switches.values()
+            )
+            delta.vswitch_updates = len(rules.vswitch_rules)
+            delta.instances_created = len(inst_map) - len(instances or {})
+            delta.paths_updated = len(classes)
+            return inst_map, delta
+
+        inst_map: Dict[str, VNFInstance] = dict(instances or {})
+
+        for cls in classes:
+            if network.class_paths.get(cls.class_id) != tuple(cls.path):
+                network.register_class_path(cls.class_id, cls.path)
+                delta.paths_updated += 1
+
+        # Instance materialisation + (re-)registration where bindings moved.
+        needed: Dict[str, List[str]] = {}
+        for rule_list in rules.vswitch_rules.values():
+            for _, _, rule in rule_list:
+                for key in rule.instance_ids:
+                    switch = key.rsplit("@", 1)[1]
+                    needed.setdefault(switch, []).append(key)
+        for switch, keys in needed.items():
+            vsw = network.vswitch_at(switch)
+            for key in keys:
+                if key not in inst_map:
+                    nf_name = key.split("[", 1)[0]
+                    inst_map[key] = VNFInstance(
+                        instance_id=key,
+                        nf_type=self.catalog.get(nf_name),
+                        switch=switch,
+                        sim=sim,
+                    )
+                    delta.instances_created += 1
+                if vsw.registered(key) is not inst_map[key]:
+                    vsw.register_instance(inst_map[key], alias=key)
+
+        # vSwitch rule tables, only where the rule list changed.
+        touched = set(rules.vswitch_rules) | set(previous.vswitch_rules)
+        for switch in sorted(touched):
+            new_list = rules.vswitch_rules.get(switch, [])
+            if new_list == previous.vswitch_rules.get(switch, []):
+                continue
+            vsw = network.vswitch_at(switch)
+            vsw.clear_rules()
+            for class_id, sub_id, rule in new_list:
+                vsw.install_rule(class_id, sub_id, rule)
+            delta.vswitch_updates += 1
+
+        # Origin classifications (host-originated classes) are rare; any
+        # change rewrites the affected vSwitch's origin table wholesale.
+        origin_touched = set(rules.origin_rules) | set(previous.origin_rules)
+        for switch in sorted(origin_touched):
+            new_list = rules.origin_rules.get(switch, [])
+            if new_list == previous.origin_rules.get(switch, []):
+                continue
+            vsw = network.vswitch_at(switch)
+            vsw.clear_origin_rules()
+            for class_id, hash_range, sub_id, first_host in new_list:
+                vsw.install_origin_rule(class_id, hash_range, sub_id, first_host)
+            delta.vswitch_updates += 1
+
+        # Physical-switch TCAM layouts, only where the rule set changed.
+        for switch_name, sw in network.switches.items():
+            new_rs = rules.switch_rule_sets.get(switch_name)
+            old_rs = previous.switch_rule_sets.get(switch_name)
+            if new_rs == old_rs:
+                continue
+            if new_rs is not None:
+                new_rs.apply(sw)
+            else:
+                sw.table.clear()
+                sw.install_pass_by()
+            delta.switches_updated += 1
+            delta.flow_mods += sw.table.logical_entries
+
+        return inst_map, delta
 
 
 def _group_by_switch(

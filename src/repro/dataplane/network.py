@@ -47,6 +47,32 @@ from repro.topology.graph import Topology
 _BUCKETS = 65536  # 1 << TcamEntry.HASH_BITS; inlined on the hot path
 
 
+@dataclass(frozen=True)
+class NetworkStats:
+    """A flushed, point-in-time read of the delivery ledger.
+
+    The one sanctioned way to consume delivery counters: constructing it
+    flushes the deferred batched-walk counts first, so readers can never
+    observe the ledger mid-deferral.
+    """
+
+    delivered: int
+    dropped: int
+    violations: int
+
+    @property
+    def total(self) -> int:
+        return self.delivered + self.dropped
+
+    @property
+    def loss_ratio(self) -> float:
+        return self.dropped / self.total if self.total else 0.0
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """(delivered, dropped, violations) — the legacy triple."""
+        return (self.delivered, self.dropped, self.violations)
+
+
 @dataclass
 class DeliveryRecord:
     """Outcome of one injected packet."""
@@ -141,6 +167,12 @@ class DataPlaneNetwork:
         self._span_tick = 0
         self._switch_list = list(self.switches.values())
         self._vswitch_list = list(self.vswitches.values())
+        # Failure overlay: packets crossing a failed link are dropped at the
+        # upstream switch.  The epoch joins the generation snapshot so link
+        # state changes (and explicit invalidations, e.g. a VM kill) retire
+        # cached walk plans.
+        self.failed_links: set = set()
+        self._overlay_epoch = 0
 
     # ------------------------------------------------------------------
     def register_class_path(self, class_id: str, path: Tuple[str, ...]) -> None:
@@ -162,6 +194,29 @@ class DataPlaneNetwork:
             return self.vswitches[switch]
         except KeyError:
             raise KeyError(f"no APPLE host/vSwitch at switch {switch!r}") from None
+
+    # ------------------------------------------------------------------
+    # Failure overlay (chaos engine)
+    # ------------------------------------------------------------------
+    def set_link_failed(self, u: str, v: str, failed: bool) -> None:
+        """Mark/unmark a link failed; packets crossing it are dropped."""
+        if u not in self.switches or v not in self.switches:
+            raise KeyError(f"unknown switch on link {u}-{v}")
+        key = (u, v) if u <= v else (v, u)
+        if failed:
+            self.failed_links.add(key)
+        else:
+            self.failed_links.discard(key)
+        self._overlay_epoch += 1
+
+    def invalidate_plans(self) -> None:
+        """Retire every cached walk plan (pending counts flush first).
+
+        The chaos injector calls this when it mutates state the plans
+        captured by value (e.g. an instance's admission budget after a
+        brownout, or a killed VM).
+        """
+        self._overlay_epoch += 1
 
     # ------------------------------------------------------------------
     def inject(self, packet: Packet, now: float = 0.0) -> DeliveryRecord:
@@ -186,11 +241,19 @@ class DataPlaneNetwork:
                 f"packet {packet.packet_id} src/dst disagree with class path"
             )
 
+        failed_links = self.failed_links
         hops = 0
         for i, sw_name in enumerate(path):
             if hops > self.MAX_HOPS:
                 raise RuntimeError("hop limit exceeded (loop?)")
             hops += 1
+            if failed_links and i:
+                prev = path[i - 1]
+                key = (prev, sw_name) if prev <= sw_name else (sw_name, prev)
+                if key in failed_links:
+                    # The packet black-holes on the dead link; it never
+                    # reaches sw_name, so the drop is charged upstream.
+                    return self._record(started, packet, False, prev)
             switch = self.switches[sw_name]
             decision = switch.process(packet)
             if decision is SwitchDecision.TO_HOST:
@@ -379,6 +442,7 @@ class DataPlaneNetwork:
         return (
             tuple(sw.table.generation for sw in self._switch_list),
             tuple(v.generation for v in self._vswitch_list),
+            self._overlay_epoch,
         )
 
     def _resolve_plan(self, class_id: str, flow_hash: float) -> _WalkPlan:
@@ -399,7 +463,18 @@ class DataPlaneNetwork:
         subclass_tag: Optional[int] = None
         modified_headers = False
         sig: List[int] = []  # matched-entry identity per hop
+        failed_links = self.failed_links
         for hi, sw_name in enumerate(path):
+            if failed_links and hi:
+                prev = path[hi - 1]
+                key = (prev, sw_name) if prev <= sw_name else (sw_name, prev)
+                if key in failed_links:
+                    # Black-hole: the walk ends on the dead link, charged to
+                    # the upstream switch (matches the scalar walker).
+                    plan.tcam_drop_at = prev
+                    plan.final_outcome = (False, prev)
+                    sig.append(-1)
+                    break
             switch = self.switches[sw_name]
             table = switch.table
             if not table.bucket_is_cacheable(flow_hash):
@@ -525,8 +600,20 @@ class DataPlaneNetwork:
 
     def delivery_stats(self) -> Tuple[int, int, int]:
         """(delivered, dropped, policy_violations); O(1) counter reads."""
+        return self.stats_snapshot().as_tuple()
+
+    def stats_snapshot(self) -> NetworkStats:
+        """Flush deferred batched-walk counts, then read the ledger.
+
+        The canonical consumer API: every ledger read routes through here,
+        so the PR-2 deferred-flush contract holds by construction.
+        """
         self._flush_dirty()
-        return self.delivered_count, self.dropped_count, self.violation_count
+        return NetworkStats(
+            delivered=self.delivered_count,
+            dropped=self.dropped_count,
+            violations=self.violation_count,
+        )
 
     def reset_records(self) -> None:
         """Zero the delivery ledger and the recent-record ring."""

@@ -158,6 +158,19 @@ class VSwitch:
     def instances(self) -> List[VNFInstance]:
         return list(self._instances.values())
 
+    def registered(self, alias: str) -> Optional[VNFInstance]:
+        """The instance currently bound to ``alias`` (None if absent).
+
+        Delta rule installation uses this to skip re-registering an
+        unchanged binding (which would bump the generation and retire
+        warm walk plans for no reason).
+        """
+        return self._instances.get(alias)
+
+    def installed_rules(self) -> Dict[Tuple[str, str, Optional[int]], VSwitchRule]:
+        """A copy of the rule table keyed by (in_port, class, sub-class)."""
+        return dict(self._rules)
+
     # ------------------------------------------------------------------
     # Host-originated traffic (Fig. 3, ip3 -> ip4)
     # ------------------------------------------------------------------
@@ -170,6 +183,10 @@ class VSwitch:
     ) -> None:
         """Classification for packets born at a production VM in this host."""
         self._origin_rules.append((class_id, hash_range, sub_id, first_host))
+        self.generation += 1
+
+    def clear_origin_rules(self) -> None:
+        self._origin_rules.clear()
         self.generation += 1
 
     @property

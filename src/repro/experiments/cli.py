@@ -15,13 +15,14 @@ import time
 from typing import Callable, Dict, List
 
 from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12
-from repro.experiments import failure_sweep, packet_replay
+from repro.experiments import failure_recovery, failure_sweep, packet_replay
 from repro.experiments import table1, table4, table5
 from repro.experiments.harness import ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5.run,
     "packet_replay": packet_replay.run,
+    "failure_recovery": failure_recovery.run,
     "failure_sweep": failure_sweep.run,
     "table1": table1.run,
     "table4": table4.run,
@@ -38,12 +39,15 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 #: Experiments whose run() accepts a quick flag.
 _QUICKABLE = {
     "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "packet_replay", "failure_sweep",
+    "fig12", "packet_replay", "failure_recovery", "failure_sweep",
 }
 
 #: Experiments whose run() accepts a jobs flag (process fan-out over
 #: independent rows).
-_JOBSABLE = {"fig12", "table5", "failure_sweep"}
+_JOBSABLE = {"fig12", "table5", "failure_recovery", "failure_sweep"}
+
+#: Experiments whose run() accepts a seed (deterministic chaos runs).
+_SEEDABLE = {"failure_recovery"}
 
 #: Experiments whose run() accepts a batch size (packets per simulator
 #: event through the data-plane fast path).
@@ -58,11 +62,22 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
+        type=lambda s: s.replace("-", "_"),
         choices=sorted(EXPERIMENTS) + [[]],
-        help="subset to run (default: all)",
+        help="subset to run (default: all); hyphens and underscores are "
+        "interchangeable (failure-recovery == failure_recovery)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smoke-scale parameters"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run seed for seeded experiments "
+        f"({', '.join(sorted(_SEEDABLE))}); same seed, same fault "
+        "schedule and recovery timeline, bit for bit",
     )
     parser.add_argument(
         "--jobs",
@@ -100,6 +115,8 @@ def main(argv: List[str] = None) -> int:
             kwargs["jobs"] = args.jobs
         if args.batch > 1 and name in _BATCHABLE:
             kwargs["batch"] = args.batch
+        if name in _SEEDABLE:
+            kwargs["seed"] = args.seed
         result = runner(**kwargs)
         result.elapsed_seconds = time.perf_counter() - started
         rendered = result.format()

@@ -10,6 +10,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 import numpy as np
 
 from repro.core.controller import AppleController
+from repro.sim.rng import derive
 from repro.core.engine import EngineConfig
 from repro.topology.datasets import load_topology
 from repro.topology.graph import Topology
@@ -155,7 +156,7 @@ def standard_setup(
         # demand is edge-to-edge only.
         edges = [s for s in topo.switches if s.startswith("edge")]
         weights = {s: (1.0 if s in set(edges) else 0.0) for s in topo.switches}
-        rng = np.random.default_rng(seed + 17)
+        rng = np.random.default_rng(derive(seed, "traffic.univ1-pairs"))
         pair_pool = [(a, b) for a in edges for b in edges if a != b]
         idx = rng.choice(len(pair_pool), size=min(UNIV1_PAIRS, len(pair_pool)), replace=False)
         pairs = [pair_pool[int(i)] for i in idx]

@@ -140,8 +140,9 @@ def run(
         for src in sources:
             src.stop()
 
-    delivered, dropped, violations = deployment.network.delivery_stats()
-    measured_loss = dropped / max(delivered + dropped, 1)
+    stats = deployment.network.stats_snapshot()
+    delivered, dropped, violations = stats.as_tuple()
+    measured_loss = stats.loss_ratio
 
     # Fluid prediction for the same offered load.
     handler = controller.make_dynamic_handler()

@@ -14,6 +14,20 @@ from typing import Optional, Sequence
 import numpy as np
 
 
+def derive(seed: int, label: str) -> int:
+    """Derive the seed of an independent named substream.
+
+    Every stochastic component of a run (traffic synthesis, chaos fault
+    schedules, ...) seeds its generator with ``derive(run_seed, label)``
+    instead of sharing (or offsetting) the run seed directly.  Streams are
+    decoupled by construction: enabling one component never perturbs the
+    draws of another, and the same ``(seed, label)`` pair always yields the
+    same stream regardless of creation order.
+    """
+    mix = zlib.crc32(label.encode("utf-8"))
+    return (int(seed) * 1_000_003 + mix) & 0x7FFFFFFF
+
+
 class SeededRNG:
     """Thin wrapper around :class:`numpy.random.Generator` with child streams."""
 
@@ -24,11 +38,9 @@ class SeededRNG:
     def child(self, label: str) -> "SeededRNG":
         """Derive an independent stream keyed by ``label``.
 
-        The derivation is deterministic: the same (seed, label) pair always
-        yields the same stream, regardless of creation order.
+        Seed derivation is :func:`derive`; see there for the guarantees.
         """
-        mix = zlib.crc32(label.encode("utf-8"))
-        return SeededRNG((self.seed * 1_000_003 + mix) & 0x7FFFFFFF)
+        return SeededRNG(derive(self.seed, label))
 
     # ------------------------------------------------------------------
     # Distribution helpers (delegate to numpy)

@@ -96,6 +96,11 @@ class Topology:
             self.hosts = {
                 s: AppleHostSpec(cores=default_host_cores) for s in self.graph.nodes
             }
+        # Failure overlay (chaos engine): the physical structure above stays
+        # immutable; faults mark links/hosts failed and recovery routes
+        # around them via :meth:`surviving`.
+        self._failed_links: set = set()
+        self._failed_hosts: set = set()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -148,6 +153,61 @@ class Topology:
             for dst in nodes:
                 if src != dst:
                     yield (src, dst)
+
+    # ------------------------------------------------------------------
+    # Failure overlay (chaos engine)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def link_key(u: str, v: str) -> Tuple[str, str]:
+        """Canonical (sorted) endpoint pair identifying an undirected link."""
+        return (u, v) if u <= v else (v, u)
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Mark a link failed (the physical graph is left untouched)."""
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"no link {u}-{v} in topology {self.name!r}")
+        self._failed_links.add(self.link_key(u, v))
+
+    def restore_link(self, u: str, v: str) -> None:
+        self._failed_links.discard(self.link_key(u, v))
+
+    def link_failed(self, u: str, v: str) -> bool:
+        return self.link_key(u, v) in self._failed_links
+
+    @property
+    def failed_links(self) -> set:
+        """Canonical endpoint pairs of currently-failed links."""
+        return set(self._failed_links)
+
+    def fail_host(self, switch: str) -> None:
+        """Mark the APPLE host(s) at ``switch`` failed (cores unusable)."""
+        if switch not in self.hosts:
+            raise KeyError(f"no APPLE host at switch {switch!r}")
+        self._failed_hosts.add(switch)
+
+    def restore_host(self, switch: str) -> None:
+        self._failed_hosts.discard(switch)
+
+    def host_failed(self, switch: str) -> bool:
+        return switch in self._failed_hosts
+
+    @property
+    def failed_hosts(self) -> set:
+        return set(self._failed_hosts)
+
+    def surviving(self) -> "Topology":
+        """A new :class:`Topology` of only the live links and hosts.
+
+        Recovery routes affected classes over this view; the original
+        object keeps the full physical structure (and the failure marks).
+        """
+        live_links = [
+            l for l in self._links if self.link_key(l.u, l.v) not in self._failed_links
+        ]
+        live_hosts = {
+            s: spec for s, spec in self.hosts.items() if s not in self._failed_hosts
+        }
+        return Topology(self.name, self.switches, live_links, hosts=live_hosts)
 
     def restrict_hosts(self, switches: Iterable[str], cores: int = 64) -> None:
         """Attach APPLE hosts only at the given switches (others get none).

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.topology.graph import Topology
+from repro.sim.rng import derive
 from repro.traffic.gravity import gravity_matrix
 from repro.traffic.matrix import TrafficMatrix, TrafficMatrixSeries
 
@@ -91,7 +92,7 @@ def synthesize_series(
         if kept <= 0:
             raise ValueError("pair whitelist removed all demand")
         base = base * (total_mbps / kept)
-    rng = np.random.default_rng(seed + 1)
+    rng = np.random.default_rng(derive(seed, "traffic.mvr"))
     nodes = topo.switches
     n = len(nodes)
     mats = []

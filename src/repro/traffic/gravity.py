@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.topology.graph import Topology
+from repro.sim.rng import derive
 from repro.traffic.matrix import TrafficMatrix
 
 
@@ -31,7 +32,7 @@ def node_weights(
         degree_bias: exponent applied to node degree as a multiplicative
             bias; 0 disables the bias.
     """
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(derive(seed, "traffic.gravity"))
     weights = {}
     for node in topo.switches:
         base = float(rng.lognormal(mean=0.0, sigma=sigma))

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.topology.routing import Router
+from repro.sim.rng import derive
 from repro.traffic.classes import PolicyAssignment, TrafficClass
 from repro.traffic.matrix import TrafficMatrix
 
@@ -54,7 +55,7 @@ def generate_flows(
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(derive(seed, "traffic.flows"))
     flows: List[Flow] = []
     fid = 0
     for src, dst, rate in matrix.pairs(min_rate=min_rate):

@@ -72,10 +72,14 @@ class VNFInstance:
         self.downstream = downstream
         self.stats = InstanceStats()
         self.running = True
+        #: Remaining capacity fraction; < 1 during a brownout.
+        self.degradation = 1.0
         self._recent: List[float] = []  # processed-packet timestamps in window
-        # Window budget in packets; NFType is frozen so this never changes.
-        # The batched walker reads _budget/_recent directly (see
-        # DataPlaneNetwork._execute_stream) — keep their semantics in sync
+        # Window budget in packets; NFType is frozen, so only degrade()
+        # changes this (and whoever calls it must invalidate cached walk
+        # plans, which capture the budget by value).  The batched walker
+        # reads _budget/_recent directly (see
+        # DataPlaneNetwork.inject_stream) — keep their semantics in sync
         # with consume().
         self._budget: float = float(nf_type.capacity_pps) * window
 
@@ -140,6 +144,33 @@ class VNFInstance:
     def shutdown(self) -> None:
         """Stop the instance; further packets are dropped."""
         self.running = False
+
+    # ------------------------------------------------------------------
+    # Partial degradation ("brownout" faults)
+    # ------------------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Scale capacity to ``factor`` of nominal (a chaos brownout).
+
+        Affects both views: the sliding-window packet budget shrinks and
+        :attr:`effective_capacity_mbps` drops.  Callers driving the batched
+        walker must invalidate cached walk plans afterwards (they capture
+        the budget by value).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        self.degradation = factor
+        self._budget = float(self.nf_type.capacity_pps) * self.window * factor
+
+    def restore_full(self) -> None:
+        """End a brownout: back to nominal capacity."""
+        self.degrade(1.0)
+
+    @property
+    def effective_capacity_mbps(self) -> float:
+        """Nominal capacity scaled by the current degradation (0 if down)."""
+        if not self.running:
+            return 0.0
+        return self.nf_type.capacity_mbps * self.degradation
 
     def reset_runtime(self) -> None:
         """Zero the packet-level state (stats + sliding window).

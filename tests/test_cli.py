@@ -9,10 +9,18 @@ def test_all_experiments_registered():
     expected = {
         "table1", "table4", "table5",
         "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "packet_replay", "failure_sweep",
+        "packet_replay", "failure_recovery", "failure_sweep",
     }
     assert set(EXPERIMENTS) == expected
     assert _QUICKABLE <= set(EXPERIMENTS)
+
+
+def test_cli_accepts_hyphenated_names(capsys):
+    # failure-recovery and failure_recovery are the same experiment.
+    assert main(["failure-recovery", "--quick", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "failure-recovery" in out
+    assert "seed 2" in out
 
 
 def test_cli_runs_subset(capsys):
