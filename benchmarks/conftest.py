@@ -2,29 +2,23 @@
 
 Every ``BENCH_*.json`` file at the repo root is a *trajectory*: a JSON
 list that grows by one entry per recorded benchmark run, so successive
-commits can be compared without re-running history.  All entries share a
-unified schema (the S6 satellite of the chaos PR)::
-
-    {
-      "bench":     <benchmark name>,
-      "unix_time": <seconds since epoch>,
-      "git_sha":   <HEAD commit, or "unknown" outside a checkout>,
-      "machine":   {"platform": ..., "python": ..., "cpus": ...},
-      "metrics":   {<benchmark-specific measurements>}
-    }
+commits can be compared without re-running history.  Entries are built by
+:func:`repro.obs.manifest.bench_entry` — the same provenance helpers
+(git sha, machine info, schema tag) that run manifests use, so every JSON
+artifact the repo emits shares one schema family.  See
+``docs/OBSERVABILITY.md`` for the ``apple-bench/v1`` schema, and validate
+files with ``python -m repro.obs.validate BENCH_engine.json``.
 
 ``record_bench`` targets ``BENCH_engine.json``, ``record_bench_dataplane``
 ``BENCH_dataplane.json``, and ``record_bench_chaos`` ``BENCH_chaos.json``.
 """
 
 import json
-import os
-import platform
-import subprocess
-import time
 from pathlib import Path
 
 import pytest
+
+from repro.obs.manifest import bench_entry
 
 _ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = _ROOT / "BENCH_engine.json"
@@ -43,29 +37,6 @@ def print_result():
     return report
 
 
-def _git_sha() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=_ROOT,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else "unknown"
-
-
-def _machine_info() -> dict:
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "cpus": os.cpu_count(),
-    }
-
-
 def _append_to(path: Path, name: str, metrics: dict) -> None:
     entries = []
     if path.exists():
@@ -75,15 +46,7 @@ def _append_to(path: Path, name: str, metrics: dict) -> None:
             entries = []
         if not isinstance(entries, list):
             entries = [entries]
-    entries.append(
-        {
-            "bench": name,
-            "unix_time": round(time.time(), 1),
-            "git_sha": _git_sha(),
-            "machine": _machine_info(),
-            "metrics": metrics,
-        }
-    )
+    entries.append(bench_entry(name, metrics))
     path.write_text(json.dumps(entries, indent=2) + "\n")
 
 

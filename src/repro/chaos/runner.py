@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.chaos.detector import DetectorConfig, FailureDetector
+from repro.obs.collectors import (
+    collect_chaos,
+    collect_solver,
+    trace_chaos_timeline,
+)
 from repro.chaos.injector import FaultInjector
 from repro.chaos.metrics import ChaosMetrics, ProbeLoop
 from repro.chaos.recovery import RecoveryConfig, RecoveryManager
@@ -133,6 +139,11 @@ class ChaosEngine:
         self.probes.stop()
         metrics_dict = self.metrics.to_dict()
         wall = self.metrics.wall_clock()
+        if obs.REGISTRY.enabled:
+            collect_chaos(self.metrics)
+            collect_solver(self.controller.engine)
+        if obs.TRACER.enabled:
+            trace_chaos_timeline(self.metrics)
         report = verify_deployment(
             self.controller.deployment, self.controller.topo
         )

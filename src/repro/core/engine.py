@@ -37,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.core.placement import PlacementPlan
 from repro.solver.branch_bound import solve_branch_bound
 from repro.solver.lp import solve_lp, SolverError
@@ -288,9 +288,14 @@ class OptimizationEngine:
                 self._templates.move_to_end(key)
                 warm = True
         if template is None:
-            with perf.span("engine.template_build"):
+            build_started = time.perf_counter()
+            with obs.span("engine.template_build", cat="solver"):
                 template = self._build_template(
                     classes, available_cores, available_memory_gb, key
+                )
+            if obs.REGISTRY.enabled:
+                obs.metric("solver_lp_assembly_seconds").observe(
+                    time.perf_counter() - build_started
                 )
             if self.config.warm_start and template.reusable:
                 self._templates[key] = template
@@ -300,14 +305,19 @@ class OptimizationEngine:
             self.warm_solves += 1
         else:
             self.cold_builds += 1
+        rate_started = time.perf_counter()
         with perf.span("engine.rate_update"):
             template.set_rates(classes)
+        if obs.REGISTRY.enabled:
+            obs.metric("solver_rate_update_seconds").observe(
+                time.perf_counter() - rate_started
+            )
         template.solves += 1
 
         model, q_vars = template.model, template.q_vars
         span_name = "engine.warm_solve" if warm else "engine.cold_solve"
         try:
-            with perf.span(span_name):
+            with obs.span(span_name, cat="solver"):
                 if self.config.solver == "exact":
                     bb = solve_branch_bound(
                         model,
@@ -346,6 +356,19 @@ class OptimizationEngine:
             with perf.span("engine.consolidate"):
                 self._consolidate_dust(classes, distribution, quantities)
             objective = float(sum(quantities.values()))
+        if obs.REGISTRY.enabled:
+            mode = "warm" if warm else "cold"
+            obs.metric("solver_solves_total").labels(mode=mode).inc()
+            obs.metric("solver_solve_seconds").labels(mode=mode).observe(
+                time.perf_counter() - started
+            )
+            obs.metric("solver_classes").set(len(classes))
+            obs.metric("solver_instances_planned").set(
+                sum(quantities.values())
+            )
+            obs.metric("solver_warm_hit_ratio").set(
+                self.warm_solves / (self.warm_solves + self.cold_builds)
+            )
         return PlacementPlan(
             quantities=quantities,
             distribution=distribution,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.placement import InstanceRef
 from repro.core.subclasses import Subclass, SubclassPlan
 from repro.dataplane.network import DataPlaneNetwork
@@ -231,6 +232,18 @@ class RuleGenerator:
                 sw.table.clear()
                 sw.install_pass_by()
 
+        if obs.REGISTRY.enabled:
+            obs.metric("controller_installs_total").labels(mode="full").inc()
+            obs.metric("controller_rule_installs_total").labels(kind="tcam").inc(
+                sum(sw.table.logical_entries for sw in network.switches.values())
+            )
+            obs.metric("controller_rule_installs_total").labels(
+                kind="vswitch"
+            ).inc(sum(len(v) for v in rules.vswitch_rules.values()))
+            obs.metric("controller_rule_installs_total").labels(
+                kind="origin"
+            ).inc(sum(len(v) for v in rules.origin_rules.values()))
+
         return inst_map
 
     # ------------------------------------------------------------------
@@ -340,6 +353,15 @@ class RuleGenerator:
                 sw.install_pass_by()
             delta.switches_updated += 1
             delta.flow_mods += sw.table.logical_entries
+
+        if obs.REGISTRY.enabled:
+            obs.metric("controller_installs_total").labels(mode="delta").inc()
+            obs.metric("controller_rule_installs_total").labels(kind="tcam").inc(
+                delta.flow_mods
+            )
+            obs.metric("controller_rule_installs_total").labels(
+                kind="vswitch"
+            ).inc(delta.vswitch_updates)
 
         return inst_map, delta
 

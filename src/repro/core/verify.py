@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.controller import Deployment
 from repro.dataplane.packet import Packet
 from repro.topology.graph import Topology
@@ -147,4 +148,9 @@ def verify_deployment(
                     f"switch {switch}: {used} cores allocated, budget {budget}",
                 )
             )
+
+    if obs.REGISTRY.enabled:
+        result = "ok" if report.ok else "violations"
+        obs.metric("controller_verify_calls_total").labels(result=result).inc()
+        obs.metric("controller_verify_probes_total").inc(report.probes_sent)
     return report

@@ -25,7 +25,10 @@ Two walkers share the installed rules:
 
 Delivery accounting is a counter ledger (delivered/dropped/violations)
 plus a bounded ring of recent :class:`DeliveryRecord` objects for
-debugging, so :meth:`delivery_stats` is O(1) regardless of traffic volume.
+debugging.  :meth:`DataPlaneNetwork.stats_snapshot` is the canonical O(1)
+read — it flushes deferred batch counts, feeds the observability
+collectors, and returns a :class:`NetworkStats`; the legacy
+:meth:`DataPlaneNetwork.delivery_stats` tuple is a thin shim over it.
 The batch walker updates only the counters (it never materialises
 per-packet records).
 """
@@ -41,6 +44,7 @@ from repro.dataplane.packet import FIN, Packet
 from repro.dataplane.switch import PhysicalSwitch, SwitchDecision
 from repro.dataplane.tcam import ActionKind
 from repro.dataplane.vswitch import VSwitch
+from repro.obs import state as _obs
 from repro.perf import REGISTRY
 from repro.topology.graph import Topology
 
@@ -426,6 +430,8 @@ class DataPlaneNetwork:
                 else:
                     outcomes.append(plan.final_outcome)
         REGISTRY.record("dataplane.walk.batch", perf_counter() - started)
+        if _obs.REGISTRY.enabled:
+            _obs.metric("dataplane_batch_packets").observe(len(items))
         return outcomes
 
     def flush_counters(self) -> None:
@@ -606,9 +612,16 @@ class DataPlaneNetwork:
         """Flush deferred batched-walk counts, then read the ledger.
 
         The canonical consumer API: every ledger read routes through here,
-        so the PR-2 deferred-flush contract holds by construction.
+        so the PR-2 deferred-flush contract holds by construction.  It is
+        also the data plane's metrics-collection point: with observability
+        enabled, the ledger and TCAM ground-truth counters are copied into
+        the registry on every snapshot.
         """
         self._flush_dirty()
+        if _obs.REGISTRY.enabled:
+            from repro.obs.collectors import collect_network
+
+            collect_network(self)
         return NetworkStats(
             delivered=self.delivered_count,
             dropped=self.dropped_count,

@@ -5,6 +5,13 @@ Usage::
     apple-experiments                 # everything, paper-scale where feasible
     apple-experiments --quick         # smoke-scale versions
     apple-experiments table5 fig10    # a subset
+
+Observability (see ``docs/OBSERVABILITY.md``)::
+
+    apple-experiments failure-recovery --seed 7 --trace
+        # trace.json (Chrome trace_event JSON) + run.json (manifest)
+    apple-experiments fig12 --quick --manifest out/run.json
+    apple-experiments table5 --metrics -        # Prometheus text on stdout
 """
 
 from __future__ import annotations
@@ -14,10 +21,15 @@ import sys
 import time
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12
 from repro.experiments import failure_recovery, failure_sweep, packet_replay
 from repro.experiments import table1, table4, table5
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    ExperimentResult,
+    display_name,
+    normalize_name,
+)
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5.run,
@@ -62,7 +74,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        type=lambda s: s.replace("-", "_"),
+        type=normalize_name,
         choices=sorted(EXPERIMENTS) + [[]],
         help="subset to run (default: all); hyphens and underscores are "
         "interchangeable (failure-recovery == failure_recovery)",
@@ -101,10 +113,54 @@ def main(argv: List[str] = None) -> int:
         metavar="FILE",
         help="also write the rendered results to FILE (markdown-friendly)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        metavar="FILE",
+        help="enable observability with event tracing and write Chrome "
+        "trace_event JSON to FILE (default trace.json); open in Perfetto "
+        "or chrome://tracing; also writes a run manifest (see --manifest)",
+    )
+    parser.add_argument(
+        "--manifest",
+        nargs="?",
+        const="run.json",
+        default=None,
+        metavar="FILE",
+        help="enable observability and write a run manifest (seed, git "
+        "sha, config, metric snapshot) to FILE (default run.json)",
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="enable observability and dump the metrics registry in "
+        "Prometheus text format to FILE ('-' = stdout)",
+    )
     args = parser.parse_args(argv)
     names = args.experiments or sorted(EXPERIMENTS)
 
+    obs_on = any(x is not None for x in (args.trace, args.manifest, args.metrics))
+    manifest_file = args.manifest
+    if obs_on:
+        obs.enable(trace=args.trace is not None)
+        if manifest_file is None:
+            manifest_file = "run.json"
+        if args.jobs > 1:
+            print(
+                "warning: --jobs > 1 runs rows in worker processes; their "
+                "metrics stay in the workers and will be missing from the "
+                "snapshot",
+                file=sys.stderr,
+            )
+
+    run_started = time.perf_counter()
     sections = []
+    snapshots = []
     for name in names:
         runner = EXPERIMENTS[name]
         started = time.perf_counter()
@@ -119,6 +175,17 @@ def main(argv: List[str] = None) -> int:
             kwargs["seed"] = args.seed
         result = runner(**kwargs)
         result.elapsed_seconds = time.perf_counter() - started
+        snap = result.metrics_snapshot()
+        snapshots.append(snap)
+        if obs.REGISTRY.enabled:
+            label = display_name(name)
+            obs.metric("experiment_runs_total").labels(experiment=label).inc()
+            obs.metric("experiment_wall_seconds").labels(experiment=label).set(
+                snap["elapsed_seconds"]
+            )
+            obs.metric("experiment_rows").labels(experiment=label).set(
+                snap["rows"]
+            )
         rendered = result.format()
         sections.append(rendered)
         print(rendered)
@@ -131,6 +198,37 @@ def main(argv: List[str] = None) -> int:
             + "\n\n".join(sections)
             + "\n```\n"
         )
+
+    if obs_on:
+        wall = time.perf_counter() - run_started
+        if args.trace is not None:
+            obs.TRACER.write(args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.metrics is not None:
+            text = obs.REGISTRY.to_prometheus()
+            if args.metrics == "-":
+                print(text, end="")
+            else:
+                from pathlib import Path
+
+                Path(args.metrics).write_text(text)
+                print(f"metrics written to {args.metrics}", file=sys.stderr)
+        manifest = obs.build_manifest(
+            experiments=snapshots,
+            argv=list(sys.argv[1:] if argv is None else argv),
+            seed=args.seed,
+            config={
+                "quick": args.quick,
+                "jobs": args.jobs,
+                "batch": args.batch,
+                "experiments": [display_name(n) for n in names],
+            },
+            metrics=obs.REGISTRY.snapshot(),
+            wall_seconds=wall,
+            trace_file=args.trace,
+        )
+        obs.write_json(manifest_file, manifest)
+        print(f"run manifest written to {manifest_file}", file=sys.stderr)
     return 0
 
 

@@ -49,6 +49,21 @@ UNIV1_PAIRS = 70
 REPLAY_HEADROOM = 0.8
 
 
+def normalize_name(name: str) -> str:
+    """Canonical experiment key: lower-case, hyphens folded to underscores.
+
+    The single place where ``failure-recovery`` and ``failure_recovery``
+    become the same experiment — the CLI's argument parser, the registry
+    lookup and the tests all route through here.
+    """
+    return name.strip().lower().replace("-", "_")
+
+
+def display_name(name: str) -> str:
+    """User-facing spelling of an experiment name (hyphenated)."""
+    return normalize_name(name).replace("_", "-")
+
+
 @dataclass
 class ExperimentResult:
     """A reproduced table/figure: rows plus the paper's expectation."""
@@ -61,6 +76,21 @@ class ExperimentResult:
     notes: str = ""
     #: Wall time of the producing run (filled by the CLI / benchmarks).
     elapsed_seconds: float = 0.0
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Canonical per-run metrics dict.
+
+        The one shape every consumer renders from: :meth:`format`'s
+        footer, the CLI's registry update (``experiment_runs_total`` and
+        friends) and the run manifest's ``experiments`` list all read
+        this instead of assembling their own ad-hoc dicts.
+        """
+        return {
+            "experiment": display_name(self.experiment),
+            "rows": len(self.rows),
+            "columns": len(self.columns),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
 
     def format(self) -> str:
         """Monospace rendering of the result table."""
@@ -81,8 +111,9 @@ class ExperimentResult:
             )
         if self.notes:
             lines.append(f"   note: {self.notes}")
-        if self.elapsed_seconds > 0:
-            lines.append(f"   [{self.elapsed_seconds:.1f}s]")
+        snap = self.metrics_snapshot()
+        if snap["elapsed_seconds"] > 0:
+            lines.append(f"   [{snap['elapsed_seconds']:.1f}s]")
         return "\n".join(lines)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.harness import ExperimentResult, standard_setup
 from repro.sim.kernel import Simulator
 from repro.sim.sources import BatchedCBRMux, CBRSource
@@ -143,6 +144,12 @@ def run(
     stats = deployment.network.stats_snapshot()
     delivered, dropped, violations = stats.as_tuple()
     measured_loss = stats.loss_ratio
+    if obs.REGISTRY.enabled:
+        # Offered rate over the *simulated* clock — deterministic, unlike
+        # any wall-clock throughput figure.
+        obs.metric("dataplane_packets_per_sim_second").set(
+            counters["sent"] / duration
+        )
 
     # Fluid prediction for the same offered load.
     handler = controller.make_dynamic_handler()

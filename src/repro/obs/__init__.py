@@ -1,0 +1,126 @@
+"""Observability: metrics registry, structured tracing, run manifests.
+
+The zero-overhead-when-disabled telemetry substrate wired through every
+layer (solver, data plane, controller, chaos, experiments).  Disabled by
+default — tier-1 tests and plain library use pay one boolean check per
+instrumented call site and nothing else.  :func:`enable` turns on the
+metrics registry (and optionally the trace ring buffer); the experiment
+CLI does this for ``--trace`` / ``--manifest`` runs.
+
+Design contract (the bit-identity guarantee): telemetry only *reads*
+ground truth — simulated timestamps, ledger counters, solver stats —
+and never draws randomness, schedules events, or mutates simulated
+state.  A run with observability enabled is therefore bit-identical to
+the same run without it; ``tests/test_obs_bitidentity.py`` enforces
+this end to end.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable(trace=True)
+    ...  # run experiments / simulations
+    obs.metric("solver_solves_total").labels(mode="warm").inc()   # wired-in
+    print(obs.REGISTRY.to_prometheus())
+    obs.TRACER.write("trace.json")   # open in Perfetto / chrome://tracing
+
+See ``docs/OBSERVABILITY.md`` for the full metric catalog, trace format
+and run-manifest schema.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import catalog as _catalog
+from repro.obs import state as _state
+from repro.obs.metrics import Metric, MetricError, MetricsRegistry
+from repro.obs.trace import Tracer, traced_perf_span, validate_trace
+from repro.obs.manifest import (
+    build_manifest,
+    bench_entry,
+    git_sha,
+    machine_info,
+    validate_bench_entry,
+    validate_manifest,
+    write_json,
+)
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "Metric",
+    "MetricError",
+    "MetricsRegistry",
+    "Tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "metric",
+    "span",
+    "reset",
+    "build_manifest",
+    "bench_entry",
+    "git_sha",
+    "machine_info",
+    "validate_bench_entry",
+    "validate_manifest",
+    "validate_trace",
+    "write_json",
+]
+
+#: Re-exported singletons (see :mod:`repro.obs.state`).
+REGISTRY = _state.REGISTRY
+TRACER = _state.TRACER
+
+
+def enable(trace: bool = False) -> None:
+    """Turn on metrics collection (and, optionally, event tracing).
+
+    Idempotent.  Registers the full metric catalog so exporters and the
+    docs-coverage test always see every instrument, used or not.
+    """
+    REGISTRY.enabled = True
+    _catalog.register_all(REGISTRY)
+    if trace:
+        TRACER.enabled = True
+
+
+def disable() -> None:
+    """Turn all collection off again (values are kept until :func:`reset`)."""
+    REGISTRY.enabled = False
+    TRACER.enabled = False
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def metric(name: str) -> Metric:
+    """Look up a catalog instrument by name (registering the catalog lazily).
+
+    Raises :class:`MetricError` for names not in the catalog — instruments
+    must be declared in :mod:`repro.obs.catalog`, never ad hoc.
+    """
+    if name not in REGISTRY:
+        _catalog.register_all(REGISTRY)
+    return REGISTRY.get(name)
+
+
+@contextmanager
+def span(name: str, cat: str = "perf") -> Iterator[None]:
+    """Time a block into :mod:`repro.perf` and (when tracing) the trace.
+
+    Drop-in replacement for :func:`repro.perf.span` — the perf registry
+    behaviour is identical; a wall-track trace event is added only when
+    tracing is enabled.
+    """
+    with traced_perf_span(TRACER, name, cat=cat):
+        yield
+
+
+def reset() -> None:
+    """Zero metric values and clear the trace buffer (tests / new runs)."""
+    REGISTRY.reset_values()
+    TRACER.clear()

@@ -1,0 +1,137 @@
+"""The central metric catalog: every metric the reproduction registers.
+
+One declarative list, one place to look.  Subsystems fetch instruments
+with :func:`repro.obs.metric`, which registers the whole catalog on first
+use — so the registry's contents always equal this table, and the metric
+catalog in ``docs/OBSERVABILITY.md`` is diffed against it by
+``tests/test_obs_docs.py`` (adding a metric here without documenting it
+fails tier-1).
+
+Conventions (Prometheus-style):
+
+* ``*_total`` — cumulative counters;
+* ``*_seconds`` — durations; histograms use the shared time buckets;
+* collector-fed counters (data plane, chaos) copy ground-truth counters
+  maintained by the subsystem itself, so the hot path never pays for
+  metrics bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Metric,
+    MetricsRegistry,
+)
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One catalog row: everything needed to register the instrument."""
+
+    kind: str  # "counter" | "gauge" | "histogram"
+    name: str
+    help: str
+    labels: Tuple[str, ...] = ()
+    buckets: Optional[Tuple[float, ...]] = None
+
+
+CATALOG: Tuple[MetricDef, ...] = (
+    # ------------------------------------------------------------- solver
+    MetricDef("counter", "solver_solves_total",
+              "Placement solves by the Optimization Engine", ("mode",)),
+    MetricDef("histogram", "solver_solve_seconds",
+              "Wall time of one place() call", ("mode",)),
+    MetricDef("histogram", "solver_lp_assembly_seconds",
+              "Wall time of the structure phase (template build + compile)"),
+    MetricDef("histogram", "solver_rate_update_seconds",
+              "Wall time of the in-place Eq. 5 rate rewrite"),
+    MetricDef("gauge", "solver_warm_hit_ratio",
+              "Warm-start template hits / total solves (this engine)"),
+    MetricDef("gauge", "solver_classes",
+              "Traffic classes in the most recent solve"),
+    MetricDef("gauge", "solver_instances_planned",
+              "VNF instances in the most recent placement plan"),
+    # --------------------------------------------------------- data plane
+    MetricDef("counter", "dataplane_tcam_lookups_total",
+              "TCAM lookups across all switches (collected)"),
+    MetricDef("counter", "dataplane_tcam_misses_total",
+              "TCAM lookups matching no entry (collected)"),
+    MetricDef("counter", "dataplane_flow_cache_hits_total",
+              "Exact-match flow-cache hits across all TCAM tables (collected)"),
+    MetricDef("gauge", "dataplane_tcam_hw_entries",
+              "Hardware TCAM slots occupied by APPLE rules (collected)"),
+    MetricDef("counter", "dataplane_packets_delivered_total",
+              "Packets delivered end to end (delivery ledger, collected)"),
+    MetricDef("counter", "dataplane_packets_dropped_total",
+              "Packets dropped in the data plane (delivery ledger, collected)"),
+    MetricDef("counter", "dataplane_policy_violations_total",
+              "Delivered packets whose chain was incomplete (collected)"),
+    MetricDef("histogram", "dataplane_batch_packets",
+              "Packets per inject_stream/inject_batch call",
+              buckets=DEFAULT_SIZE_BUCKETS),
+    MetricDef("gauge", "dataplane_packets_per_sim_second",
+              "Offered packet rate of the most recent replay (sim clock)"),
+    # --------------------------------------------------------- controller
+    MetricDef("counter", "controller_rule_installs_total",
+              "Data-plane rules installed", ("kind",)),
+    MetricDef("counter", "controller_installs_total",
+              "Rule installation operations", ("mode",)),
+    MetricDef("counter", "controller_verify_calls_total",
+              "verify_deployment audits", ("result",)),
+    MetricDef("counter", "controller_verify_probes_total",
+              "Probes sent by verify_deployment audits"),
+    # -------------------------------------------------------------- chaos
+    MetricDef("counter", "chaos_faults_injected_total",
+              "Faults applied by the chaos injector", ("kind",)),
+    MetricDef("counter", "chaos_faults_detected_total",
+              "Faults noticed by the heartbeat detector"),
+    MetricDef("counter", "chaos_reconvergences_total",
+              "Recovery convergences (re-place + delta push + verify)",
+              ("warm",)),
+    MetricDef("histogram", "chaos_detection_latency_seconds",
+              "Fault applied -> detected (simulated seconds)"),
+    MetricDef("histogram", "chaos_time_to_repair_seconds",
+              "Fault applied -> rules converged (simulated seconds)"),
+    MetricDef("counter", "chaos_downtime_seconds_total",
+              "Probe intervals with at least one black-holed probe"),
+    MetricDef("counter", "chaos_policy_violation_seconds_total",
+              "Probe intervals with a policy/interference violation"),
+    MetricDef("counter", "chaos_probes_sent_total",
+              "Probes injected by the chaos probe loop"),
+    MetricDef("counter", "chaos_probes_dropped_total",
+              "Chaos probes that black-holed"),
+    # ---------------------------------------------------------- simulator
+    MetricDef("counter", "sim_events_fired_total",
+              "Events executed by the most recent simulator run (collected)"),
+    # -------------------------------------------------------- experiments
+    MetricDef("counter", "experiment_runs_total",
+              "Experiment invocations through the CLI", ("experiment",)),
+    MetricDef("gauge", "experiment_wall_seconds",
+              "Wall time of the most recent run of each experiment",
+              ("experiment",)),
+    MetricDef("gauge", "experiment_rows",
+              "Result rows produced by the most recent run", ("experiment",)),
+)
+
+
+def register_all(registry: MetricsRegistry) -> Dict[str, Metric]:
+    """Register (idempotently) every catalog metric; returns name → metric."""
+    out: Dict[str, Metric] = {}
+    for d in CATALOG:
+        if d.kind == "counter":
+            out[d.name] = registry.counter(d.name, d.help, d.labels)
+        elif d.kind == "gauge":
+            out[d.name] = registry.gauge(d.name, d.help, d.labels)
+        else:
+            out[d.name] = registry.histogram(
+                d.name, d.help, d.labels, buckets=d.buckets
+            )
+    return out
+
+
+def catalog_names() -> Sequence[str]:
+    return sorted(d.name for d in CATALOG)

@@ -1,0 +1,149 @@
+"""Collectors: copy ground-truth subsystem counters into the registry.
+
+The data plane and chaos engine keep their own counters on the hot path
+(ledger counts, TCAM lookup/cache counters, fault records); metrics
+collection *reads* those at natural snapshot points rather than adding
+bookkeeping per packet.  Each collector is a no-op while observability is
+disabled, and reported values reflect the most recently collected
+component (documented in ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs import state
+from repro.obs.state import metric as _metric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.chaos.metrics import ChaosMetrics
+    from repro.core.engine import OptimizationEngine
+    from repro.dataplane.network import DataPlaneNetwork
+
+
+def collect_network(network: "DataPlaneNetwork") -> None:
+    """Data-plane ground truth → registry (ledger, TCAM, flow cache)."""
+    if not state.REGISTRY.enabled:
+        return
+    lookups = misses = hits = hw = 0
+    for sw in network.switches.values():
+        table = sw.table
+        lookups += table.lookup_count
+        misses += table.miss_count
+        hits += table.cache_hits
+        hw += table.entry_count()
+    _metric("dataplane_tcam_lookups_total").set_total(lookups)
+    _metric("dataplane_tcam_misses_total").set_total(misses)
+    _metric("dataplane_flow_cache_hits_total").set_total(hits)
+    _metric("dataplane_tcam_hw_entries").set(hw)
+    _metric("dataplane_packets_delivered_total").set_total(
+        network.delivered_count
+    )
+    _metric("dataplane_packets_dropped_total").set_total(network.dropped_count)
+    _metric("dataplane_policy_violations_total").set_total(
+        network.violation_count
+    )
+
+
+def collect_solver(engine: "OptimizationEngine") -> None:
+    """Warm-start telemetry of one engine → registry."""
+    if not state.REGISTRY.enabled:
+        return
+    total = engine.warm_solves + engine.cold_builds
+    if total:
+        _metric("solver_warm_hit_ratio").set(engine.warm_solves / total)
+
+
+def collect_chaos(metrics: "ChaosMetrics") -> None:
+    """Chaos-run accounting → registry (TTR, PV-seconds, probe counts).
+
+    Called once at run finalization; all values derive from the
+    deterministic event/traffic planes, so a traced run collects exactly
+    what an untraced run would have measured.
+    """
+    if not state.REGISTRY.enabled:
+        return
+    for fid in sorted(metrics.faults):
+        rec = metrics.faults[fid]
+        _metric("chaos_faults_injected_total").labels(kind=rec.kind).inc()
+        if rec.detected_at is not None:
+            _metric("chaos_faults_detected_total").inc()
+        dl = rec.detection_latency
+        if dl is not None:
+            _metric("chaos_detection_latency_seconds").observe(dl)
+        ttr = rec.time_to_repair
+        if ttr is not None:
+            _metric("chaos_time_to_repair_seconds").observe(ttr)
+    for conv in metrics.convergences:
+        warm = "true" if conv.warm_start else "false"
+        _metric("chaos_reconvergences_total").labels(warm=warm).inc()
+    _metric("chaos_downtime_seconds_total").inc(metrics.downtime_seconds)
+    _metric("chaos_policy_violation_seconds_total").inc(
+        metrics.policy_violation_seconds
+    )
+    _metric("chaos_probes_sent_total").inc(metrics.probes_sent)
+    _metric("chaos_probes_dropped_total").inc(metrics.probes_dropped)
+
+
+def trace_chaos_timeline(metrics: "ChaosMetrics") -> None:
+    """Render a finished chaos run's deterministic timeline into the trace.
+
+    Faults become spans (applied → repaired/lifted) on the simulation
+    track; detections and convergences become instants.  Everything is
+    derived from the already-recorded deterministic timeline, so tracing
+    cannot perturb the run it describes.
+    """
+    tracer = state.TRACER
+    if not tracer.enabled:
+        return
+    for fid in sorted(metrics.faults):
+        rec = metrics.faults[fid]
+        if rec.applied_at is None:
+            continue
+        end = rec.repaired_at
+        if end is None:
+            end = rec.lifted_at if rec.lifted_at is not None else rec.applied_at
+        tracer.complete(
+            f"fault:{rec.kind}",
+            rec.applied_at,
+            end - rec.applied_at,
+            cat="chaos.fault",
+            args={
+                "target": rec.target,
+                "detected_at": rec.detected_at,
+                "repaired_at": rec.repaired_at,
+            },
+        )
+        if rec.detected_at is not None:
+            tracer.instant(
+                f"detect:{rec.kind}",
+                rec.detected_at,
+                cat="chaos.detect",
+                args={"target": rec.target},
+            )
+    for conv in metrics.convergences:
+        tracer.instant(
+            "recovery.converge",
+            conv.time,
+            cat="chaos.recovery",
+            args={
+                "classes": conv.classes,
+                "rerouted": conv.rerouted,
+                "stranded": conv.stranded,
+                "warm_start": conv.warm_start,
+                "flow_mods": conv.flow_mods,
+                "failed": conv.failed,
+            },
+        )
+    for tick in metrics.ticks:
+        if tick.dropped or tick.policy_violations or tick.interference_violations:
+            tracer.counter(
+                "probe.violations",
+                tick.time,
+                {
+                    "dropped": tick.dropped,
+                    "policy": tick.policy_violations,
+                    "interference": tick.interference_violations,
+                },
+                cat="chaos.probe",
+            )

@@ -1,0 +1,31 @@
+"""Process-wide observability state: the registry and tracer singletons.
+
+Lives in its own module so subsystems and :mod:`repro.obs` submodules can
+share the singletons without import cycles.  Hot paths read
+``REGISTRY.enabled`` / ``TRACER.enabled`` directly (one attribute load);
+everything else goes through the :mod:`repro.obs` façade.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: The process-wide metrics registry (disabled by default).
+REGISTRY = MetricsRegistry()
+
+#: The process-wide trace ring buffer (disabled by default).
+TRACER = Tracer()
+
+
+def metric(name: str):
+    """Catalog instrument lookup, registering the catalog on first use.
+
+    The low-level twin of :func:`repro.obs.metric` for instrumented
+    subsystems that import :mod:`repro.obs.state` directly.
+    """
+    if name not in REGISTRY:
+        from repro.obs.catalog import register_all
+
+        register_all(REGISTRY)
+    return REGISTRY.get(name)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, Optional, Tuple
 
+from repro.obs import state as _obs
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import SeededRNG
 
@@ -127,6 +128,8 @@ class Simulator:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+        if _obs.REGISTRY.enabled:
+            _obs.metric("sim_events_fired_total").set_total(self._fired)
         return fired
 
     def run_all(self, max_events: int = 10_000_000) -> int:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.cli import _QUICKABLE, EXPERIMENTS, main
+from repro.experiments.harness import display_name, normalize_name
 
 
 def test_all_experiments_registered():
@@ -13,6 +14,18 @@ def test_all_experiments_registered():
     }
     assert set(EXPERIMENTS) == expected
     assert _QUICKABLE <= set(EXPERIMENTS)
+
+
+def test_name_normalization_single_source():
+    """harness.normalize_name is THE hyphen/underscore folding point."""
+    assert normalize_name("failure-recovery") == "failure_recovery"
+    assert normalize_name("failure_recovery") == "failure_recovery"
+    assert normalize_name("  Packet-Replay ") == "packet_replay"
+    assert display_name("failure_recovery") == "failure-recovery"
+    assert display_name("fig12") == "fig12"
+    # Every registry key round-trips through both spellings.
+    for key in EXPERIMENTS:
+        assert normalize_name(display_name(key)) == key
 
 
 def test_cli_accepts_hyphenated_names(capsys):

@@ -1,0 +1,68 @@
+"""The observability layer's core guarantee: tracing changes nothing.
+
+Telemetry only *reads* ground truth — it never draws RNG, schedules
+events, or mutates simulated state — so a run with metrics + tracing
+enabled must produce bit-identical results to the same run with the
+layer disabled.  These tests enforce that end to end on the two
+experiments the acceptance criteria name.
+"""
+
+import pytest
+
+from repro import obs
+from repro.experiments import failure_recovery, fig12
+
+
+@pytest.fixture
+def obs_off_after():
+    """Leave the process-wide obs state exactly as tier-1 expects it."""
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _rows(result):
+    return [list(r) for r in result.rows]
+
+
+def test_failure_recovery_bit_identical_with_tracing(obs_off_after):
+    obs.disable()
+    obs.reset()
+    baseline = failure_recovery.run(
+        topologies=("internet2",), seed=7, quick=True
+    )
+
+    obs.enable(trace=True)
+    traced = failure_recovery.run(
+        topologies=("internet2",), seed=7, quick=True
+    )
+
+    assert _rows(traced) == _rows(baseline)
+    assert traced.columns == baseline.columns
+    # And the run actually was observed (not vacuous).
+    snap = obs.REGISTRY.snapshot()
+    assert snap["chaos_faults_injected_total"]["series"]
+    assert len(obs.TRACER) > 0
+
+
+def test_fig12_bit_identical_with_tracing(obs_off_after):
+    obs.disable()
+    obs.reset()
+    baseline = fig12.run(topologies=("internet2",), snapshots=12)
+
+    obs.enable(trace=True)
+    traced = fig12.run(topologies=("internet2",), snapshots=12)
+
+    assert _rows(traced) == _rows(baseline)
+
+
+def test_metrics_collection_is_read_only(obs_off_after):
+    """Collecting a snapshot mid-run must not change subsequent results."""
+    obs.enable()
+    first = failure_recovery.run(topologies=("internet2",), seed=3, quick=True)
+    mid_snapshot = obs.REGISTRY.snapshot()
+    assert mid_snapshot  # non-empty
+
+    obs.reset()
+    second = failure_recovery.run(topologies=("internet2",), seed=3, quick=True)
+    assert _rows(first) == _rows(second)

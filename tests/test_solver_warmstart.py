@@ -56,7 +56,16 @@ _WARM_ENGINE = OptimizationEngine(config=EngineConfig())
 @settings(max_examples=40, deadline=None)
 def test_warm_resolve_bit_identical_to_cold(rates):
     classes = _classes(rates)
-    cold_plan = OptimizationEngine(config=EngineConfig()).place(classes, CORES)
+    try:
+        cold_plan = OptimizationEngine(config=EngineConfig()).place(classes, CORES)
+    except PlacementError:
+        # The strategy can oversubscribe the four hosts (e.g. ~9.4 Gbps of
+        # firewall demand); that is a legitimately infeasible snapshot, and
+        # the property still holds: the warm path must agree it is
+        # infeasible — and stay reusable for the next example.
+        with pytest.raises(PlacementError):
+            _WARM_ENGINE.place(classes, CORES)
+        return
     warm_plan = _WARM_ENGINE.place(classes, CORES)
     # Bit-identical, not approximately equal: both paths must run the same
     # solver on the same matrices, so every float matches exactly.

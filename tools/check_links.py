@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Check relative Markdown links (and their anchors) across the repo.
+
+Scans ``*.md`` at the repo root and everything under ``docs/``.  For each
+``[text](target)`` link with a relative target it verifies the target
+file exists, and — when the link carries a ``#anchor`` — that the target
+contains a heading whose GitHub-style slug matches.  External links
+(``http://``, ``https://``, ``mailto:``) are not fetched.
+
+Usage::
+
+    python tools/check_links.py            # exit 0 clean, 1 with broken links
+    python tools/check_links.py --verbose  # also list every checked link
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets are checked the same way.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def md_files() -> List[Path]:
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def extract_links(path: Path) -> List[str]:
+    links = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(LINK_RE.findall(line))
+    return links
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """(link, problem) pairs for one Markdown file."""
+    problems = []
+    for link in extract_links(path):
+        if link.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = link.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append((link, "target does not exist"))
+                continue
+        else:
+            resolved = path  # pure in-page anchor
+        if anchor:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue  # anchors into non-markdown targets: not checked
+            if anchor.lower() not in heading_slugs(resolved):
+                problems.append((link, f"no heading for anchor #{anchor}"))
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    verbose = "--verbose" in args
+    broken = 0
+    for path in md_files():
+        problems = check_file(path)
+        rel = path.relative_to(ROOT)
+        if verbose and not problems:
+            print(f"ok   {rel}")
+        for link, why in problems:
+            broken += 1
+            print(f"FAIL {rel}: ({link}) — {why}")
+    if broken:
+        print(f"{broken} broken link(s)")
+        return 1
+    print(f"checked {len(md_files())} markdown files, all links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
