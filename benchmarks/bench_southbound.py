@@ -1,0 +1,130 @@
+"""Southbound resilience benchmark: what acked installs cost under loss.
+
+Runs the southbound-chaos study at smoke scale — internet2, 10% control-
+message loss, two seeded switch disconnects, plus a small data-plane
+fault schedule so recovery must push real deltas — and records the price
+of resilience (retries, timeouts, circuit openings, anti-entropy
+repairs) next to the guarantee it buys (mean convergence latency, zero
+policy-violation-seconds, a drift-free final state).
+
+Appends to the ``BENCH_southbound.json`` trajectory at the repo root;
+validate with ``python -m repro.obs.validate BENCH_southbound.json``.
+"""
+
+from repro.chaos import ChaosConfig, ChaosEngine, generate_schedule
+from repro.core.engine import EngineConfig
+from repro.experiments.harness import (
+    REPLAY_HEADROOM,
+    TOPOLOGY_DEMAND_MBPS,
+    standard_setup,
+)
+from repro.sim.kernel import Simulator
+from repro.southbound import (
+    SouthboundChaosConfig,
+    SouthboundFabric,
+    generate_southbound_schedule,
+)
+
+_SEED = 1
+_HORIZON = 24.0
+_LOSS = 0.1
+_WINDOW = (3.0, 10.0)
+
+
+def _southbound_run():
+    topo, controller, series = standard_setup(
+        "internet2",
+        snapshots=1,
+        seed=_SEED,
+        demand_mbps=TOPOLOGY_DEMAND_MBPS["internet2"],
+        engine_config=EngineConfig(capacity_headroom=REPLAY_HEADROOM),
+    )
+    sim = Simulator()
+    deployment = controller.run(series.snapshots[0], sim=sim)
+    fabric = SouthboundFabric(
+        sim,
+        deployment.network,
+        _SEED,
+        controller.rule_generator,
+        chaos=SouthboundChaosConfig(
+            loss_rate=_LOSS,
+            extra_delay_mean=0.01,
+            disconnects=2,
+            window=_WINDOW,
+            disconnect_duration=(1.5, 4.0),
+        ),
+    )
+    controller.attach_southbound(fabric)
+    schedule = generate_schedule(
+        topo,
+        ChaosConfig(
+            link_flaps=1,
+            host_crashes=0,
+            vnf_crashes=1,
+            brownouts=0,
+            window=_WINDOW,
+            flap_duration=(4.0, 7.0),
+        ),
+        _SEED,
+        instance_keys=sorted(deployment.instances),
+        hosts_in_use=deployment.rules.hosts_in_use,
+    )
+    sb_schedule = generate_southbound_schedule(
+        sorted(deployment.network.switches), fabric.chaos, _SEED
+    )
+    engine = ChaosEngine(
+        sim,
+        controller,
+        schedule,
+        southbound=fabric,
+        southbound_schedule=sb_schedule,
+    )
+    return engine.run(until=_HORIZON), fabric
+
+
+def test_southbound_resilience_cost(record_bench_southbound):
+    result, fabric = _southbound_run()
+    m = result.metrics
+    sb = m["southbound"]
+
+    # The study only means something if the chaos actually bit...
+    assert sb["messages_lost"] > 0
+    # ...and the make-before-break guarantee held anyway: no partial
+    # install ever opened a policy-violation window, and the reconciler
+    # drained every switch to zero drift by the horizon.
+    assert m["policy_violation_seconds"] == 0
+    assert result.final_verify_ok
+    assert fabric.drift_count() == 0
+    assert fabric.converged
+
+    convergences = sb["convergences"]
+    mean_latency = (
+        sum(c["latency"] for c in convergences) / len(convergences)
+        if convergences
+        else None
+    )
+    record_bench_southbound(
+        "southbound_chaos_resilience",
+        {
+            "topology": "internet2",
+            "seed": _SEED,
+            "horizon_s": _HORIZON,
+            "loss_rate": _LOSS,
+            "disconnects": 2,
+            "messages_sent": sb["messages_sent"],
+            "messages_lost": sb["messages_lost"],
+            "retries": sb["retries"],
+            "timeouts": sb["timeouts"],
+            "give_ups": sb["give_ups"],
+            "circuit_opens": sb["circuit_opens"],
+            "degraded_seconds": sb["degraded_seconds"],
+            "transactions": sb["transactions"],
+            "rollback_ops": sb["rollback_ops"],
+            "reconcile_repairs": sb["reconcile_repairs"],
+            "mean_convergence_latency_s": mean_latency,
+            "reconvergences": result.reconvergences,
+            "downtime_s": m["downtime_seconds"],
+            "policy_violation_seconds": m["policy_violation_seconds"],
+            "final_drift": fabric.drift_count(),
+        },
+    )

@@ -10,7 +10,8 @@ artifact the repo emits shares one schema family.  See
 files with ``python -m repro.obs.validate BENCH_engine.json``.
 
 ``record_bench`` targets ``BENCH_engine.json``, ``record_bench_dataplane``
-``BENCH_dataplane.json``, and ``record_bench_chaos`` ``BENCH_chaos.json``.
+``BENCH_dataplane.json``, ``record_bench_chaos`` ``BENCH_chaos.json``, and
+``record_bench_southbound`` ``BENCH_southbound.json``.
 """
 
 import json
@@ -24,6 +25,7 @@ _ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = _ROOT / "BENCH_engine.json"
 BENCH_DATAPLANE_FILE = _ROOT / "BENCH_dataplane.json"
 BENCH_CHAOS_FILE = _ROOT / "BENCH_chaos.json"
+BENCH_SOUTHBOUND_FILE = _ROOT / "BENCH_southbound.json"
 
 
 def report(result) -> None:
@@ -73,3 +75,9 @@ def record_bench_dataplane():
 def record_bench_chaos():
     """Same appender, targeting ``BENCH_chaos.json``."""
     return _appender(BENCH_CHAOS_FILE)
+
+
+@pytest.fixture(scope="session")
+def record_bench_southbound():
+    """Same appender, targeting ``BENCH_southbound.json``."""
+    return _appender(BENCH_SOUTHBOUND_FILE)

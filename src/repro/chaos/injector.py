@@ -16,7 +16,7 @@ fault bumps the network's plan-invalidation epoch
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro import perf
 from repro.chaos.metrics import ChaosMetrics
@@ -24,6 +24,9 @@ from repro.chaos.schedule import FaultEvent, FaultKind, FaultSchedule
 from repro.core.controller import AppleController
 from repro.sim.kernel import Simulator
 from repro.vnf.instance import VNFInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.southbound.fabric import SouthboundFabric
 
 
 class FaultInjector:
@@ -36,6 +39,9 @@ class FaultInjector:
         schedule: what to break, when.
         metrics: event-plane recorder.
         on_fault: optional hook per applied fault (tests use it).
+        southbound: the control-plane fabric; required only when the
+            schedule contains ``SWITCH_DISCONNECT`` events (they sever
+            that switch's control channel, not its data plane).
     """
 
     def __init__(
@@ -45,12 +51,14 @@ class FaultInjector:
         schedule: FaultSchedule,
         metrics: ChaosMetrics,
         on_fault: Optional[Callable[[FaultEvent], None]] = None,
+        southbound: Optional["SouthboundFabric"] = None,
     ) -> None:
         self.sim = sim
         self.controller = controller
         self.schedule = schedule
         self.metrics = metrics
         self.on_fault = on_fault
+        self.southbound = southbound
         self.applied: List[FaultEvent] = []
         #: Brownout target objects, so a lift never restores a replacement.
         self._browned: Dict[str, VNFInstance] = {}
@@ -102,6 +110,16 @@ class FaultInjector:
                     inst.degrade(event.severity)
                     self._browned[event.target] = inst
                     network.invalidate_plans()
+            elif event.kind is FaultKind.SWITCH_DISCONNECT:
+                # Control plane only: installed rules keep forwarding, but
+                # every southbound leg to/from this switch is lost until
+                # the lift.  No plan invalidation — the data plane is
+                # untouched by construction.
+                if self.southbound is None:
+                    raise RuntimeError(
+                        "SWITCH_DISCONNECT requires a southbound fabric"
+                    )
+                self.southbound.disconnect(event.target)
             self.applied.append(event)
             self.metrics.fault_applied(event, self.sim.now)
             if self.on_fault is not None:
@@ -123,4 +141,7 @@ class FaultInjector:
             if target is not None and current is target and target.running:
                 target.restore_full()
                 network.invalidate_plans()
+        elif event.kind is FaultKind.SWITCH_DISCONNECT:
+            if self.southbound is not None:
+                self.southbound.reconnect(event.target)
         self.metrics.fault_lifted(event, self.sim.now)

@@ -70,6 +70,13 @@ class ConvergenceRecord:
     verify_ok: Optional[bool] = None
     failed: bool = False
     failure_reason: str = ""
+    #: The placement came from the greedy deadline fallback, not the LP.
+    degraded_solver: bool = False
+    #: Retransmissions spent pushing this convergence (southbound runs).
+    channel_retries: int = 0
+    #: Push -> zero drift everywhere (southbound runs; None for legacy
+    #: fixed-delay commits, whose latency is the configured constant).
+    convergence_latency: Optional[float] = None
     #: Wall-clock solver+push cost; excluded from the deterministic dict.
     wall_seconds: float = 0.0
 
@@ -138,6 +145,22 @@ class ChaosMetrics:
                 and rec.detected_at is None
             ):
                 rec.detected_at = now
+
+    def repair(self, target: str, now: float) -> None:
+        """Mark the open detected fault on ``target`` as repaired.
+
+        Used by faults whose repair is target-local rather than a global
+        reconvergence — e.g. a southbound circuit closing when the switch
+        reconnects.
+        """
+        self.note(now, "repair", target)
+        for rec in self.faults.values():
+            if (
+                rec.target == target
+                and rec.detected_at is not None
+                and rec.repaired_at is None
+            ):
+                rec.repaired_at = now
 
     def convergence(self, record: ConvergenceRecord) -> None:
         """A recovery convergence; open detected faults count as repaired."""
@@ -245,6 +268,9 @@ class ChaosMetrics:
                     "verify_ok": c.verify_ok,
                     "failed": c.failed,
                     "failure_reason": c.failure_reason,
+                    "degraded_solver": c.degraded_solver,
+                    "channel_retries": c.channel_retries,
+                    "convergence_latency": r6(c.convergence_latency),
                 }
                 for c in self.convergences
             ],
@@ -304,6 +330,7 @@ class ProbeLoop:
         deployment_fn: Callable[[], "object"],
         interval: float = 0.25,
         on_tick: Optional[Callable[[ProbeTick], None]] = None,
+        expected_path_fn: Optional[Callable[[str], Optional[tuple]]] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("probe interval must be positive")
@@ -311,6 +338,11 @@ class ProbeLoop:
         self.deployment_fn = deployment_fn
         self.interval = interval
         self.on_tick = on_tick
+        #: Oracle for the path a class is *currently* routed on.  With a
+        #: southbound fabric attached, rule pushes are asynchronous: the
+        #: fabric's active-path map (updated atomically with each
+        #: classification swap) is the truth, not the plan's target path.
+        self.expected_path_fn = expected_path_fn
         self.ticks: List[ProbeTick] = []
         #: (class_id, src, dst, chain names) of the baseline placement;
         #: captured on start so stranded classes keep being probed.
@@ -354,6 +386,11 @@ class ProbeLoop:
                 interference += 1
 
         for cls in deployment.plan.classes:
+            expected_path = cls.path
+            if self.expected_path_fn is not None:
+                live = self.expected_path_fn(cls.class_id)
+                if live is not None:
+                    expected_path = tuple(live)
             for sub in deployment.subclass_plan.subclasses(cls.class_id):
                 lo, hi = sub.hash_range
                 if hi <= lo:
@@ -364,7 +401,7 @@ class ProbeLoop:
                     cls.src,
                     cls.dst,
                     cls.chain.names,
-                    cls.path,
+                    expected_path,
                 )
         for class_id, src, dst, chain in self._baseline:
             if class_id not in current:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -40,18 +40,20 @@ from repro.core.placement import PlacementPlan
 from repro.core.subclasses import assign_subclasses
 from repro.core.verify import verify_deployment
 from repro.dataplane.network import DataPlaneNetwork
-from repro.dataplane.switch import PRIORITY_CLASSIFICATION, PRIORITY_PASS_BY
-from repro.dataplane.tcam import Action, ActionKind, TcamEntry
+from repro.dataplane.switch import (
+    PRIORITY_QUARANTINE,
+    QUARANTINE_PREFIX as _QUARANTINE_PREFIX,
+    quarantine_entry,
+)
 from repro.sim.kernel import Simulator
+from repro.southbound.config import ChannelConfig
 from repro.topology.graph import Topology
 from repro.topology.routing import Router
 from repro.traffic.classes import TrafficClass
 
-#: Quarantine sits between classification and pass-by: a placed class's
-#: classification always wins; unclassified stranded traffic never leaks.
-PRIORITY_QUARANTINE = (PRIORITY_CLASSIFICATION + PRIORITY_PASS_BY) // 2
-
-_QUARANTINE_PREFIX = "quarantine/"
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.southbound.fabric import SouthboundFabric
+    from repro.southbound.metrics import EpochConvergence
 
 
 @dataclass
@@ -59,10 +61,23 @@ class RecoveryConfig:
     """Reaction-path tunables."""
 
     #: Modelled latency between the solve and the rules taking effect
-    #: (flow-mod push + switch apply).
-    rule_install_delay: float = 0.1
+    #: (flow-mod push + switch apply).  ``None`` (the default) resolves to
+    #: the southbound channel's one-way install latency, so the legacy
+    #: fixed-delay commit and the acked channel share one source of truth
+    #: (:attr:`repro.southbound.config.ChannelConfig.install_latency`,
+    #: i.e. the 70 ms OpenDaylight figure).
+    rule_install_delay: Optional[float] = None
     #: Run the core verifier after every convergence.
     verify_after_convergence: bool = True
+    #: Give up on the LP placement and fall back to the greedy first-fit
+    #: placer when the (deterministic) solve-time estimate exceeds this
+    #: many seconds.  ``None`` disables the deadline.
+    solver_deadline: Optional[float] = None
+
+    def resolved_install_delay(self) -> float:
+        if self.rule_install_delay is not None:
+            return self.rule_install_delay
+        return ChannelConfig().install_latency
 
 
 class RecoveryManager:
@@ -76,6 +91,11 @@ class RecoveryManager:
             fabric).
         metrics: event-plane recorder.
         config: reaction tunables.
+        southbound: when given, commits flow through the resilient
+            southbound fabric (acked transactional pushes + anti-entropy)
+            instead of the legacy fixed-delay direct install; the
+            deployment swap and verification then ride the fabric's
+            convergence callback.
     """
 
     def __init__(
@@ -84,6 +104,7 @@ class RecoveryManager:
         controller: AppleController,
         metrics: ChaosMetrics,
         config: Optional[RecoveryConfig] = None,
+        southbound: Optional["SouthboundFabric"] = None,
     ) -> None:
         if controller.deployment is None:
             raise RuntimeError("recovery needs a deployed placement")
@@ -91,6 +112,7 @@ class RecoveryManager:
         self.controller = controller
         self.metrics = metrics
         self.config = config or RecoveryConfig()
+        self.southbound = southbound
         #: The routing application's original input: classes at full rate
         #: on their primary paths.  Recovery always re-derives from this,
         #: so lifted faults converge back to the primary placement.
@@ -164,9 +186,15 @@ class RecoveryManager:
                 new_classes.append(cls)
 
             warm_before = controller.engine.warm_solves
+            degraded_solver = False
             try:
                 if new_classes:
-                    plan = controller.engine.place(new_classes, cores, memory)
+                    plan, degraded_solver = controller.engine.place_with_deadline(
+                        new_classes,
+                        cores,
+                        memory,
+                        deadline=self.config.solver_deadline,
+                    )
                 else:
                     # Everything stranded: nothing to place, but the commit
                     # must still run so the stranded classes get quarantined.
@@ -201,11 +229,20 @@ class RecoveryManager:
             rules = controller.rule_generator.generate(plan.classes, subclass_plan)
             solve_wall = perf_counter() - wall0
         self.reconvergences += 1
-        self.sim.schedule(
-            self.config.rule_install_delay,
-            self._commit,
-            args=(plan, subclass_plan, rules, trigger, stranded, rerouted, warm, solve_wall),
-        )
+        if self.southbound is not None:
+            self._commit_via_fabric(
+                plan, subclass_plan, rules, trigger, stranded, rerouted,
+                warm, solve_wall, degraded_solver,
+            )
+        else:
+            self.sim.schedule(
+                self.config.resolved_install_delay(),
+                self._commit,
+                args=(
+                    plan, subclass_plan, rules, trigger, stranded, rerouted,
+                    warm, solve_wall, degraded_solver,
+                ),
+            )
 
     # ------------------------------------------------------------------
     def _commit(
@@ -218,6 +255,7 @@ class RecoveryManager:
         rerouted: int,
         warm: bool,
         solve_wall: float,
+        degraded_solver: bool = False,
     ) -> None:
         with perf.span("chaos.rule_push"):
             wall0 = perf_counter()
@@ -261,6 +299,7 @@ class RecoveryManager:
             flow_mods=delta.flow_mods,
             vswitch_updates=delta.vswitch_updates,
             instances_created=delta.instances_created,
+            degraded_solver=degraded_solver,
             wall_seconds=solve_wall + push_wall,
         )
         if self.config.verify_after_convergence:
@@ -268,6 +307,87 @@ class RecoveryManager:
             record.verify_summary = report.summary()
             record.verify_ok = report.ok
         self.metrics.convergence(record)
+
+    # ------------------------------------------------------------------
+    def _commit_via_fabric(
+        self,
+        plan,
+        subclass_plan,
+        rules,
+        trigger: Tuple[str, ...],
+        stranded: List[TrafficClass],
+        rerouted: int,
+        warm: bool,
+        solve_wall: float,
+        degraded_solver: bool,
+    ) -> None:
+        """Push the new desired state through the southbound fabric.
+
+        The deployment swap, quarantine state, and verification all ride
+        the fabric's convergence callback: until every switch acks its way
+        to zero drift, the controller's ``deployment`` keeps describing
+        the state actually serving traffic, and the make-before-break
+        transaction guarantees no partial-install window in between.
+        Stranded-class quarantine DROPs are part of the rendered desired
+        state itself, not a separate direct install.
+        """
+        fabric = self.southbound
+        assert fabric is not None
+        controller = self.controller
+        topo = controller.topo
+        deployment = controller.deployment
+        network = deployment.network
+        surviving = {
+            key: inst
+            for key, inst in deployment.instances.items()
+            if inst.running
+            and not topo.host_failed(inst.switch)
+            and key not in self.failed_instance_keys
+        }
+        stranded_map = {c.class_id: c.src for c in stranded}
+        retries_before = fabric.metrics.retries
+
+        def _converged(conv: "EpochConvergence") -> None:
+            inst_map = dict(fabric.instances)
+            controller.deployment = Deployment(
+                plan, subclass_plan, rules, network, inst_map
+            )
+            self.failed_instance_keys = {
+                key for key, inst in inst_map.items() if not inst.running
+            }
+            self.stranded_ids = set(stranded_map)
+            record = ConvergenceRecord(
+                time=self.sim.now,
+                trigger=trigger,
+                classes=len(plan.classes),
+                rerouted=rerouted,
+                stranded=len(stranded),
+                warm_start=warm,
+                switches_updated=fabric.last_push["switches"],
+                flow_mods=fabric.last_push["ops"],
+                vswitch_updates=fabric.last_push["vsw_ops"],
+                instances_created=sum(
+                    1 for key in inst_map if key not in surviving
+                ),
+                degraded_solver=degraded_solver,
+                channel_retries=fabric.metrics.retries - retries_before,
+                convergence_latency=conv.latency,
+                wall_seconds=solve_wall,
+            )
+            if self.config.verify_after_convergence:
+                report = verify_deployment(controller.deployment, topo)
+                record.verify_summary = report.summary()
+                record.verify_ok = report.ok
+            self.metrics.convergence(record)
+
+        fabric.push_desired(
+            rules,
+            plan.classes,
+            stranded=stranded_map,
+            instances=surviving,
+            on_converged=_converged,
+            degraded_solver=degraded_solver,
+        )
 
     # ------------------------------------------------------------------
     def _apply_quarantine(
@@ -288,11 +408,4 @@ class RecoveryManager:
             name = f"{_QUARANTINE_PREFIX}{cls.class_id}"
             if any(e.name == name for e in sw.table.entries()):
                 continue
-            sw.table.install(
-                TcamEntry(
-                    priority=PRIORITY_QUARANTINE,
-                    action=Action(ActionKind.DROP),
-                    class_id=cls.class_id,
-                    name=name,
-                )
-            )
+            sw.table.install(quarantine_entry(cls.src, cls.class_id))

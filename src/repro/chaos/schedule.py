@@ -41,12 +41,22 @@ LINK_SEP = "|"
 
 
 class FaultKind(enum.Enum):
-    """The four fault classes the injector knows how to apply."""
+    """The fault classes the injector knows how to apply.
+
+    The first four break the *data plane*; ``SWITCH_DISCONNECT`` breaks
+    the *control plane* — the southbound channel to one switch drops every
+    message until the fault lifts.  Disconnect schedules are drawn on
+    their own substream (``derive(seed, "chaos.southbound")``, see
+    :func:`repro.southbound.faults.generate_southbound_schedule`) so
+    data-plane schedules generated from the same seed stay bit-identical
+    whether or not southbound chaos is enabled.
+    """
 
     LINK_FLAP = "link-flap"
     HOST_CRASH = "host-crash"
     VNF_CRASH = "vnf-crash"
     BROWNOUT = "brownout"
+    SWITCH_DISCONNECT = "switch-disconnect"
 
 
 @dataclass(frozen=True)

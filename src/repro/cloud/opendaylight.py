@@ -20,6 +20,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.sim.kernel import Simulator
 
 #: Installing forwarding rules via the ODL REST API (Sec. VIII-D), seconds.
+#: THE single source of the 70 ms install latency: the southbound
+#: channel's healthy round trip (`repro.southbound.config.ChannelConfig`)
+#: and the chaos recovery path's rule-push delay both default to this —
+#: change it here and every consumer follows.
 RULE_INSTALL_SECONDS = 0.070
 #: Neutron → ODL REST notification latency (Step 2), seconds.
 NEUTRON_NOTIFY_SECONDS = 0.8

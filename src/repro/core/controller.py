@@ -10,7 +10,7 @@ integration tests drive the system through this façade.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.dynamic import DynamicHandler, FailoverConfig
 from repro.core.engine import EngineConfig, OptimizationEngine
@@ -27,6 +27,9 @@ from repro.traffic.classes import ClassBuilder, PolicyAssignment, TrafficClass
 from repro.traffic.matrix import TrafficMatrix
 from repro.vnf.instance import VNFInstance
 from repro.vnf.types import DEFAULT_CATALOG, NFTypeCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.southbound.fabric import SouthboundFabric
 
 
 @dataclass
@@ -71,6 +74,8 @@ class AppleController:
         self.rule_generator = RuleGenerator(catalog)
         self.classes: List[TrafficClass] = []
         self.deployment: Optional[Deployment] = None
+        #: Resilient control channel; see :meth:`attach_southbound`.
+        self.southbound: Optional["SouthboundFabric"] = None
 
     # ------------------------------------------------------------------
     def available_cores(self) -> Dict[str, int]:
@@ -119,6 +124,24 @@ class AppleController:
         """Convenience: classes → placement → deployment in one call."""
         plan = self.compute_placement(matrix)
         return self.deploy(plan, sim=sim)
+
+    def attach_southbound(self, fabric: "SouthboundFabric") -> None:
+        """Adopt the current deployment into a southbound fabric.
+
+        The initial install goes through the direct path (:meth:`deploy`);
+        the fabric blesses the result as its desired epoch 0 — a no-op on
+        the wire — and every later rule change (recovery reconvergences,
+        reconciler repairs) then flows through acked, transactional
+        southbound pushes.
+        """
+        if self.deployment is None:
+            raise RuntimeError("deploy a placement before attaching southbound")
+        fabric.adopt(
+            self.deployment.rules,
+            self.deployment.plan.classes,
+            self.deployment.instances,
+        )
+        self.southbound = fabric
 
     # ------------------------------------------------------------------
     def send_packet(

@@ -214,6 +214,8 @@ class OptimizationEngine:
         #: Telemetry: structure builds vs warm template reuses.
         self.cold_builds = 0
         self.warm_solves = 0
+        #: Placements degraded to the greedy placer by a solve deadline.
+        self.deadline_fallbacks = 0
 
     # ------------------------------------------------------------------
     def clear_templates(self) -> None:
@@ -378,6 +380,74 @@ class OptimizationEngine:
             lp_bound=float(lp_bound),
             solve_seconds=time.perf_counter() - started,
             warm_start=warm,
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_solve_seconds(
+        self,
+        classes: Sequence[TrafficClass],
+        available_cores: Mapping[str, int],
+    ) -> float:
+        """Deterministic a-priori estimate of one LP solve's cost.
+
+        A calibrated function of the model size (d and q variable
+        counts) — deliberately *not* a wall-clock measurement, so a
+        deadline decision is a pure function of the problem structure and
+        identical across same-seed runs and machines.
+        """
+        d_count = 0
+        slots = set()
+        for cls in classes:
+            hosts = [sw for sw in cls.path if available_cores.get(sw, 0) > 0]
+            for nf in cls.chain:
+                d_count += len(hosts)
+                for sw in hosts:
+                    slots.add((sw, nf))
+        n = d_count + len(slots)
+        # Calibrated against the bench_placement corpus: ~1 ms fixed cost
+        # plus a superlinear term for the LP (assembly is ~linear, the
+        # simplex iterations dominate as the model grows).
+        return 1e-3 + 2e-6 * n * float(max(n, 1)) ** 0.5
+
+    def place_with_deadline(
+        self,
+        classes: Sequence[TrafficClass],
+        available_cores: Mapping[str, int],
+        available_memory_gb: Optional[Mapping[str, float]] = None,
+        deadline: Optional[float] = None,
+    ) -> Tuple[PlacementPlan, bool]:
+        """Graceful degradation wrapper around :meth:`place`.
+
+        When the deterministic solve-time estimate exceeds ``deadline``,
+        fall back to the greedy first-fit placer (a complete, feasible,
+        merely less efficient placement) instead of risking a late LP
+        answer.  Returns ``(plan, degraded)``.
+
+        Raises:
+            PlacementError: as :meth:`place`; the greedy fallback raises
+                it too when some class fits nowhere.
+        """
+        if (
+            deadline is not None
+            and self.estimate_solve_seconds(classes, available_cores) > deadline
+        ):
+            from repro.core.greedy import greedy_placement
+
+            clamped = [self._clamped(c) for c in classes]
+            self._check_paths(clamped, available_cores)
+            plan = greedy_placement(
+                clamped,
+                available_cores,
+                self.catalog,
+                capacity_headroom=self.config.capacity_headroom,
+            )
+            self.deadline_fallbacks += 1
+            if obs.REGISTRY.enabled:
+                obs.metric("solver_deadline_fallbacks_total").inc()
+            return plan, True
+        return (
+            self.place(classes, available_cores, available_memory_gb),
+            False,
         )
 
     # ------------------------------------------------------------------

@@ -171,6 +171,51 @@ class RuleGenerator:
         )
 
     # ------------------------------------------------------------------
+    def materialize_instances(
+        self,
+        rules: GeneratedRules,
+        network: DataPlaneNetwork,
+        sim: Optional[Simulator] = None,
+        instances: Optional[Dict[str, VNFInstance]] = None,
+        delta: Optional[RuleDelta] = None,
+    ) -> Dict[str, VNFInstance]:
+        """Create and register every instance the rules reference.
+
+        Shared by :meth:`install`, :meth:`install_delta` and the
+        southbound fabric: instance creation is a hypervisor-local action
+        (not a flow rule), so it happens before rules that reference the
+        instances are pushed.  Registration is skipped where the binding
+        is unchanged (re-registering bumps the vSwitch generation and
+        retires warm walk plans for no reason).
+
+        Returns:
+            The full instance map keyed by ref key.
+        """
+        inst_map: Dict[str, VNFInstance] = dict(instances or {})
+        needed: Dict[str, List[str]] = {}
+        for rule_list in rules.vswitch_rules.values():
+            for _, _, rule in rule_list:
+                for key in rule.instance_ids:
+                    switch = key.rsplit("@", 1)[1]
+                    needed.setdefault(switch, []).append(key)
+        for switch, keys in needed.items():
+            vsw = network.vswitch_at(switch)
+            for key in keys:
+                if key not in inst_map:
+                    nf_name = key.split("[", 1)[0]
+                    inst_map[key] = VNFInstance(
+                        instance_id=key,
+                        nf_type=self.catalog.get(nf_name),
+                        switch=switch,
+                        sim=sim,
+                    )
+                    if delta is not None:
+                        delta.instances_created += 1
+                if vsw.registered(key) is not inst_map[key]:
+                    vsw.register_instance(inst_map[key], alias=key)
+        return inst_map
+
+    # ------------------------------------------------------------------
     def install(
         self,
         rules: GeneratedRules,
@@ -189,30 +234,12 @@ class RuleGenerator:
         Returns:
             The full instance map keyed by ref key.
         """
-        inst_map: Dict[str, VNFInstance] = dict(instances or {})
-
         for cls in classes:
             network.register_class_path(cls.class_id, cls.path)
 
-        needed: Dict[str, List[str]] = {}
-        for rule_list in rules.vswitch_rules.values():
-            for _, _, rule in rule_list:
-                for key in rule.instance_ids:
-                    switch = key.rsplit("@", 1)[1]
-                    needed.setdefault(switch, []).append(key)
-
-        for switch, keys in needed.items():
-            vsw = network.vswitch_at(switch)
-            for key in keys:
-                if key not in inst_map:
-                    nf_name = key.split("[", 1)[0]
-                    inst_map[key] = VNFInstance(
-                        instance_id=key,
-                        nf_type=self.catalog.get(nf_name),
-                        switch=switch,
-                        sim=sim,
-                    )
-                vsw.register_instance(inst_map[key], alias=key)
+        inst_map = self.materialize_instances(
+            rules, network, sim=sim, instances=instances
+        )
 
         for switch, rule_list in rules.vswitch_rules.items():
             vsw = network.vswitch_at(switch)
@@ -294,26 +321,9 @@ class RuleGenerator:
                 delta.paths_updated += 1
 
         # Instance materialisation + (re-)registration where bindings moved.
-        needed: Dict[str, List[str]] = {}
-        for rule_list in rules.vswitch_rules.values():
-            for _, _, rule in rule_list:
-                for key in rule.instance_ids:
-                    switch = key.rsplit("@", 1)[1]
-                    needed.setdefault(switch, []).append(key)
-        for switch, keys in needed.items():
-            vsw = network.vswitch_at(switch)
-            for key in keys:
-                if key not in inst_map:
-                    nf_name = key.split("[", 1)[0]
-                    inst_map[key] = VNFInstance(
-                        instance_id=key,
-                        nf_type=self.catalog.get(nf_name),
-                        switch=switch,
-                        sim=sim,
-                    )
-                    delta.instances_created += 1
-                if vsw.registered(key) is not inst_map[key]:
-                    vsw.register_instance(inst_map[key], alias=key)
+        inst_map = self.materialize_instances(
+            rules, network, sim=sim, instances=inst_map, delta=delta
+        )
 
         # vSwitch rule tables, only where the rule list changed.
         touched = set(rules.vswitch_rules) | set(previous.vswitch_rules)

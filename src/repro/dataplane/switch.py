@@ -23,6 +23,71 @@ PRIORITY_HOST_MATCH = 300
 PRIORITY_CLASSIFICATION = 200
 PRIORITY_PASS_BY = 100
 
+#: Quarantine sits between classification and pass-by: a placed class's
+#: classification always wins; unclassified stranded traffic never leaks.
+PRIORITY_QUARANTINE = (PRIORITY_CLASSIFICATION + PRIORITY_PASS_BY) // 2
+
+#: Name prefixes of the entries APPLE owns on a switch.  The southbound
+#: reconciler treats everything under these prefixes as managed state.
+QUARANTINE_PREFIX = "quarantine/"
+
+
+def pass_by_entry(switch_name: str) -> TcamEntry:
+    """The lowest-priority catch-all sending packets to the next table."""
+    return TcamEntry(
+        priority=PRIORITY_PASS_BY,
+        action=Action(ActionKind.GOTO_NEXT_TABLE),
+        name=f"{switch_name}/pass-by",
+    )
+
+
+def host_match_entry(switch_name: str) -> TcamEntry:
+    """Host-match rule: packets tagged for this switch's host divert in."""
+    return TcamEntry(
+        priority=PRIORITY_HOST_MATCH,
+        action=Action(ActionKind.FORWARD_TO_HOST),
+        host_tag_is=switch_name,
+        name=f"{switch_name}/host-match",
+    )
+
+
+def classification_entry(
+    switch_name: str,
+    class_id: str,
+    hash_range: tuple,
+    subclass_id: int,
+    first_host: str,
+) -> TcamEntry:
+    """Ingress classification entry for one sub-class (Table III rows 2–3)."""
+    if first_host == switch_name:
+        action = Action(
+            ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST, subclass_id=subclass_id
+        )
+    else:
+        action = Action(
+            ActionKind.TAG_SUBCLASS_AND_HOST,
+            subclass_id=subclass_id,
+            next_host=first_host,
+        )
+    return TcamEntry(
+        priority=PRIORITY_CLASSIFICATION,
+        action=action,
+        host_tag_is="EMPTY",
+        class_id=class_id,
+        hash_range=hash_range,
+        name=f"{switch_name}/classify/{class_id}#{subclass_id}",
+    )
+
+
+def quarantine_entry(switch_name: str, class_id: str) -> TcamEntry:
+    """Ingress DROP for a stranded class (its traffic must never leak)."""
+    return TcamEntry(
+        priority=PRIORITY_QUARANTINE,
+        action=Action(ActionKind.DROP),
+        class_id=class_id,
+        name=f"{QUARANTINE_PREFIX}{class_id}",
+    )
+
 
 class SwitchDecision(enum.Enum):
     """What the pipeline decided to do with the packet."""
@@ -50,26 +115,13 @@ class PhysicalSwitch:
     # ------------------------------------------------------------------
     def install_pass_by(self) -> None:
         """The lowest-priority catch-all sending packets to the next table."""
-        self.table.install(
-            TcamEntry(
-                priority=PRIORITY_PASS_BY,
-                action=Action(ActionKind.GOTO_NEXT_TABLE),
-                name=f"{self.name}/pass-by",
-            )
-        )
+        self.table.install(pass_by_entry(self.name))
 
     def install_host_match(self) -> None:
         """Host-match rule: packets tagged for this switch's host divert in."""
         if not self.has_host:
             raise ValueError(f"switch {self.name!r} has no APPLE host")
-        self.table.install(
-            TcamEntry(
-                priority=PRIORITY_HOST_MATCH,
-                action=Action(ActionKind.FORWARD_TO_HOST),
-                host_tag_is=self.name,
-                name=f"{self.name}/host-match",
-            )
-        )
+        self.table.install(host_match_entry(self.name))
 
     def install_classification(
         self,
@@ -84,24 +136,9 @@ class PhysicalSwitch:
         and diverts the packet immediately; otherwise it also tags the next
         host ID and passes the packet to the routing table.
         """
-        if first_host == self.name:
-            action = Action(
-                ActionKind.TAG_SUBCLASS_AND_FORWARD_TO_HOST, subclass_id=subclass_id
-            )
-        else:
-            action = Action(
-                ActionKind.TAG_SUBCLASS_AND_HOST,
-                subclass_id=subclass_id,
-                next_host=first_host,
-            )
         self.table.install(
-            TcamEntry(
-                priority=PRIORITY_CLASSIFICATION,
-                action=action,
-                host_tag_is="EMPTY",
-                class_id=class_id,
-                hash_range=hash_range,
-                name=f"{self.name}/classify/{class_id}#{subclass_id}",
+            classification_entry(
+                self.name, class_id, hash_range, subclass_id, first_host
             )
         )
 

@@ -195,6 +195,30 @@ class TcamTable:
         self._hw_count = 0
         self._generation += 1
 
+    def remove_by_name(self, name: str) -> int:
+        """Remove every entry called ``name``; returns count removed.
+
+        Entry names are the flow-mod cookies of the southbound channel —
+        deleting by name models an OpenFlow delete-strict keyed by cookie.
+        """
+        return self.remove_where(lambda e: e.name == name)
+
+    def replace(self, entry: TcamEntry) -> None:
+        """Install ``entry``, first removing any entry with the same name.
+
+        The southbound agent's idempotent put: re-applying a retried
+        flow-mod converges to exactly one installed copy.
+        """
+        self.remove_where(lambda e: e.name == entry.name)
+        self.install(entry)
+
+    def entry_by_name(self, name: str) -> Optional[TcamEntry]:
+        """The installed entry called ``name`` (None when absent)."""
+        for e in self._entries:
+            if e.name == name:
+                return e
+        return None
+
     def lookup(self, packet: Packet) -> Optional[TcamEntry]:
         """First (highest-priority) matching entry, or None on miss."""
         self.lookup_count += 1

@@ -98,6 +98,22 @@ class VSwitch:
         self._rules[(in_port, class_id, subclass_id)] = rule
         self.generation += 1
 
+    def remove_rule(
+        self,
+        class_id: str,
+        subclass_id: Optional[int],
+        in_port: str = UPLINK,
+    ) -> bool:
+        """Remove one (port, class, sub-class) rule; True if it existed.
+
+        The southbound channel's delete op: removing an absent rule is a
+        no-op (idempotent, so a retried delete converges).
+        """
+        if self._rules.pop((in_port, class_id, subclass_id), None) is None:
+            return False
+        self.generation += 1
+        return True
+
     def clear_rules(self) -> None:
         self._rules.clear()
         self.generation += 1
@@ -192,6 +208,10 @@ class VSwitch:
     @property
     def origin_rule_count(self) -> int:
         return len(self._origin_rules)
+
+    def installed_origin_rules(self) -> List[Tuple[str, Tuple[float, float], int, str]]:
+        """A copy of the origin classification table (reconciler reads)."""
+        return list(self._origin_rules)
 
     def process_origin(self, packet: Packet, now: float) -> Optional[Packet]:
         """Tag and dispatch a packet entering from a production-VM port.

@@ -104,6 +104,25 @@ CATALOG: Tuple[MetricDef, ...] = (
               "Probes injected by the chaos probe loop"),
     MetricDef("counter", "chaos_probes_dropped_total",
               "Chaos probes that black-holed"),
+    # --------------------------------------------------------- southbound
+    MetricDef("counter", "southbound_messages_total",
+              "Southbound control messages by terminal result", ("result",)),
+    MetricDef("counter", "southbound_retries_total",
+              "Southbound retransmissions (attempts beyond the first)"),
+    MetricDef("counter", "southbound_timeouts_total",
+              "Southbound delivery attempts that timed out"),
+    MetricDef("counter", "southbound_circuit_opens_total",
+              "Circuit-breaker openings (switch marked degraded)"),
+    MetricDef("counter", "southbound_transactions_total",
+              "Make-before-break transactions by outcome", ("outcome",)),
+    MetricDef("counter", "southbound_rollback_ops_total",
+              "Inverse ops sent rolling back failed add phases"),
+    MetricDef("counter", "southbound_reconcile_repairs_total",
+              "Anti-entropy passes that repaired desired-state drift"),
+    MetricDef("histogram", "southbound_convergence_seconds",
+              "Desired-state push -> every switch at zero drift"),
+    MetricDef("counter", "solver_deadline_fallbacks_total",
+              "Placements degraded to the greedy placer by the deadline"),
     # ---------------------------------------------------------- simulator
     MetricDef("counter", "sim_events_fired_total",
               "Events executed by the most recent simulator run (collected)"),

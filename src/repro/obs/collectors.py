@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.chaos.metrics import ChaosMetrics
     from repro.core.engine import OptimizationEngine
     from repro.dataplane.network import DataPlaneNetwork
+    from repro.southbound.metrics import SouthboundMetrics
 
 
 def collect_network(network: "DataPlaneNetwork") -> None:
@@ -83,6 +84,42 @@ def collect_chaos(metrics: "ChaosMetrics") -> None:
     )
     _metric("chaos_probes_sent_total").inc(metrics.probes_sent)
     _metric("chaos_probes_dropped_total").inc(metrics.probes_dropped)
+
+
+def collect_southbound(metrics: "SouthboundMetrics") -> None:
+    """Southbound fabric ledger → registry.
+
+    The fabric's own :meth:`~repro.southbound.metrics.SouthboundMetrics`
+    hooks already update the registry incrementally while enabled; this
+    collector reconciles the totals at run finalization so a registry
+    enabled *after* the fabric started still reports the full ledger.
+    """
+    if not state.REGISTRY.enabled:
+        return
+    _metric("southbound_messages_total").labels(result="sent").set_total(
+        metrics.messages_sent
+    )
+    _metric("southbound_messages_total").labels(result="lost").set_total(
+        metrics.messages_lost
+    )
+    for status in sorted(metrics.acks):
+        _metric("southbound_messages_total").labels(
+            result=f"ack_{status}"
+        ).set_total(metrics.acks[status])
+    _metric("southbound_messages_total").labels(result="give_up").set_total(
+        metrics.give_ups
+    )
+    _metric("southbound_retries_total").set_total(metrics.retries)
+    _metric("southbound_timeouts_total").set_total(metrics.timeouts)
+    _metric("southbound_circuit_opens_total").set_total(metrics.circuit_opens)
+    for outcome in sorted(metrics.transactions):
+        _metric("southbound_transactions_total").labels(
+            outcome=outcome
+        ).set_total(metrics.transactions[outcome])
+    _metric("southbound_rollback_ops_total").set_total(metrics.rollback_ops)
+    _metric("southbound_reconcile_repairs_total").set_total(
+        metrics.reconcile_repairs
+    )
 
 
 def trace_chaos_timeline(metrics: "ChaosMetrics") -> None:

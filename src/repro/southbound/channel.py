@@ -1,0 +1,318 @@
+"""The per-switch control channel: agent, loss model, retry machinery.
+
+One :class:`SwitchAgent` + :class:`ControlChannel` pair exists per
+physical switch.  The agent is the switch-resident half: it applies op
+bundles to the switch's TCAM and its host's vSwitch, exactly once per
+cookie, rejecting superseded epochs.  The channel is the controller-
+resident half: it delivers messages through a seeded loss/delay model,
+retransmits on timeout with exponential backoff and deterministic
+jitter, bounds the in-flight window, and opens a circuit breaker after
+consecutive timeouts (the switch is then *degraded*: probed at a slow
+cadence instead of hammered).
+
+Determinism: every attempt draws exactly five values from the channel's
+own substream (forward-loss, forward-extra-delay, ack-loss,
+ack-extra-delay, timeout-jitter) in a fixed order, whether or not each
+value ends up mattering, so the draw sequence — and therefore the whole
+run — is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.dataplane.network import DataPlaneNetwork
+from repro.dataplane.tcam import TcamEntry
+from repro.dataplane.vswitch import VSwitchRule
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRNG
+from repro.southbound.config import ChannelConfig, SouthboundChaosConfig
+from repro.southbound.messages import (
+    ACK_APPLIED,
+    ACK_DUPLICATE,
+    ACK_STALE,
+    Ack,
+    ControlMessage,
+    spec_entry,
+)
+from repro.southbound.metrics import SouthboundMetrics
+
+#: Result handed to a sender whose message exhausted ``max_attempts``.
+RESULT_FAILED = "failed"
+
+
+class SwitchAgent:
+    """Switch-resident op applier with idempotency + epoch fencing.
+
+    Args:
+        on_paths_applied: called with the ``paths`` tuple of an applied
+            ``classify_sync`` / ``origin_sync`` (the fabric tracks which
+            routing paths are live for probe expectations).
+    """
+
+    def __init__(
+        self,
+        switch: str,
+        network: DataPlaneNetwork,
+        on_paths_applied: Optional[Callable[[tuple], None]] = None,
+    ) -> None:
+        self.switch = switch
+        self.network = network
+        self.on_paths_applied = on_paths_applied
+        self.current_epoch = -1
+        self.applied_cookies: set = set()
+        self.ops_applied = 0
+
+    def receive(self, msg: ControlMessage) -> Ack:
+        """Apply a message exactly once; returns the ack to send back."""
+        if msg.epoch < self.current_epoch:
+            # A newer desired state owns this switch; applying would
+            # clobber it (the classic stale-retransmission hazard).
+            return Ack(msg.cookie, ACK_STALE)
+        if msg.epoch > self.current_epoch:
+            self.current_epoch = msg.epoch
+            self.applied_cookies.clear()
+        if msg.cookie in self.applied_cookies:
+            return Ack(msg.cookie, ACK_DUPLICATE)
+        for op in msg.ops:
+            self._apply(op)
+        self.applied_cookies.add(msg.cookie)
+        return Ack(msg.cookie, ACK_APPLIED)
+
+    # ------------------------------------------------------------------
+    def _apply(self, op: tuple) -> None:
+        kind = op[0]
+        table = self.network.switches[self.switch].table
+        if kind == "tcam_put":
+            table.replace(spec_entry(op[1]))
+        elif kind == "tcam_del":
+            table.remove_by_name(op[1])
+        elif kind == "classify_sync":
+            # The atomic swap: all classification entries of this switch
+            # and the registered paths of the classes ingressing here
+            # change in one sim event (an OpenFlow bundle in miniature).
+            _, specs, paths = op
+            prefix = f"{self.switch}/classify/"
+            table.remove_where(lambda e: e.name.startswith(prefix))
+            for spec in specs:
+                table.install(spec_entry(spec))
+            self._register_paths(paths)
+        elif kind == "vsw_put":
+            _, class_id, sub_id, instance_ids, exit_tag = op
+            vsw = self.network.vswitch_at(self.switch)
+            if any(vsw.registered(iid) is None for iid in instance_ids):
+                # Instance died between desired-state render and apply
+                # (e.g. a VNF crash raced the repair).  Skip: the drift
+                # stays visible to the reconciler, and recovery's next
+                # push stops referencing the dead instance.
+                return
+            vsw.install_rule(
+                class_id, sub_id, VSwitchRule(tuple(instance_ids), exit_tag)
+            )
+        elif kind == "vsw_del":
+            self.network.vswitch_at(self.switch).remove_rule(op[1], op[2])
+        elif kind == "origin_sync":
+            _, rows, paths = op
+            vsw = self.network.vswitch_at(self.switch)
+            vsw.clear_origin_rules()
+            for class_id, hash_range, sub_id, first_host in rows:
+                vsw.install_origin_rule(
+                    class_id, tuple(hash_range), sub_id, first_host
+                )
+            self._register_paths(paths)
+        else:
+            raise ValueError(f"unknown southbound op kind {kind!r}")
+        self.ops_applied += 1
+
+    def _register_paths(self, paths: tuple) -> None:
+        for class_id, path in paths:
+            if self.network.class_paths.get(class_id) != tuple(path):
+                self.network.register_class_path(class_id, path)
+        if self.on_paths_applied is not None and paths:
+            self.on_paths_applied(paths)
+
+
+@dataclass
+class _Pending:
+    """One message's delivery state on the controller side."""
+
+    msg: ControlMessage
+    on_result: Callable[[str], None]
+    attempts: int = 0
+    done: bool = False
+    timeout_event: object = field(default=None, repr=False)
+
+
+class ControlChannel:
+    """Controller-side reliable delivery to one switch.
+
+    Args:
+        rng: this channel's private substream
+            (``derive(derive(seed, "chaos.southbound"), "channel.<switch>")``).
+        on_circuit_open / on_circuit_close: degradation hooks
+            ``(switch, now)`` — the chaos layer records detections here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: SwitchAgent,
+        config: ChannelConfig,
+        chaos: SouthboundChaosConfig,
+        rng: SeededRNG,
+        metrics: SouthboundMetrics,
+        on_circuit_open: Optional[Callable[[str, float], None]] = None,
+        on_circuit_close: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.agent = agent
+        self.config = config
+        self.chaos = chaos
+        self.rng = rng
+        self.metrics = metrics
+        self.on_circuit_open = on_circuit_open
+        self.on_circuit_close = on_circuit_close
+        self.disconnected = False
+        self.circuit_open = False
+        self.consecutive_timeouts = 0
+        self._circuit_opened_at: Optional[float] = None
+        self._queue: Deque[_Pending] = deque()
+        self._inflight: Dict[str, _Pending] = {}
+
+    @property
+    def switch(self) -> str:
+        return self.agent.switch
+
+    @property
+    def degraded(self) -> bool:
+        return self.circuit_open
+
+    # ------------------------------------------------------------------
+    def send(self, msg: ControlMessage, on_result: Callable[[str], None]) -> None:
+        """Queue a message; ``on_result`` fires exactly once with the ack
+        status (or :data:`RESULT_FAILED` after ``max_attempts``)."""
+        self._queue.append(_Pending(msg=msg, on_result=on_result))
+        self._pump()
+
+    def disconnect(self) -> None:
+        """Sever the channel: every leg in either direction is lost."""
+        self.disconnected = True
+
+    def reconnect(self) -> None:
+        """Restore the channel; pending messages recover via retries."""
+        self.disconnected = False
+
+    def finalize(self, now: float) -> None:
+        """Fold a still-open circuit into the degraded-time counter."""
+        if self.circuit_open and self._circuit_opened_at is not None:
+            self.metrics.degraded_seconds += now - self._circuit_opened_at
+            self._circuit_opened_at = now
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        while self._queue and len(self._inflight) < self.config.max_inflight:
+            pending = self._queue.popleft()
+            self._inflight[pending.msg.cookie] = pending
+            self._attempt(pending)
+
+    def _attempt(self, pending: _Pending) -> None:
+        if pending.done:
+            return
+        pending.attempts += 1
+        attempt = pending.attempts
+        # Fixed five-draw sequence per attempt (see module docstring).
+        u_loss_fwd = self.rng.uniform()
+        extra_fwd = self.rng.exponential(self.chaos.extra_delay_mean)
+        u_loss_back = self.rng.uniform()
+        extra_back = self.rng.exponential(self.chaos.extra_delay_mean)
+        u_jitter = self.rng.uniform()
+
+        cfg = self.config
+        self.metrics.record_send(attempt)
+        if self.disconnected or u_loss_fwd < self.chaos.loss_rate:
+            self.metrics.record_loss()
+        else:
+            forward = cfg.install_latency * cfg.apply_fraction + extra_fwd
+            back = cfg.install_latency * (1.0 - cfg.apply_fraction) + extra_back
+            lost_back = u_loss_back < self.chaos.loss_rate
+            self.sim.schedule(
+                forward, self._deliver, args=(pending, lost_back, back)
+            )
+        timeout = cfg.rto(attempt) * (
+            1.0 + cfg.jitter_frac * (2.0 * u_jitter - 1.0)
+        )
+        pending.timeout_event = self.sim.schedule(
+            timeout, self._on_timeout, args=(pending, attempt)
+        )
+
+    def _deliver(self, pending: _Pending, lost_back: bool, back: float) -> None:
+        if self.disconnected:
+            # The disconnect landed while the request was in flight.
+            self.metrics.record_loss()
+            return
+        ack = self.agent.receive(pending.msg)
+        if lost_back:
+            self.metrics.record_loss()
+            return
+        self.sim.schedule(back, self._on_ack, args=(pending, ack))
+
+    def _on_ack(self, pending: _Pending, ack: Ack) -> None:
+        if pending.done:
+            return  # a retransmission's ack for an already-settled message
+        if self.disconnected:
+            self.metrics.record_loss()
+            return
+        pending.done = True
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        self._inflight.pop(pending.msg.cookie, None)
+        self.consecutive_timeouts = 0
+        self._close_circuit()
+        self.metrics.record_ack(ack.status)
+        pending.on_result(ack.status)
+        self._pump()
+
+    def _on_timeout(self, pending: _Pending, attempt: int) -> None:
+        if pending.done or pending.attempts != attempt:
+            return  # stale timer of an earlier attempt
+        self.metrics.record_timeout()
+        self.consecutive_timeouts += 1
+        if (
+            not self.circuit_open
+            and self.consecutive_timeouts >= self.config.circuit_threshold
+        ):
+            self._open_circuit()
+        if pending.attempts >= self.config.max_attempts:
+            pending.done = True
+            self._inflight.pop(pending.msg.cookie, None)
+            self.metrics.record_give_up()
+            pending.on_result(RESULT_FAILED)
+            self._pump()
+            return
+        if self.circuit_open:
+            # Degraded: probe at a slow cadence instead of tight backoff.
+            self.sim.schedule(
+                self.config.circuit_probe_interval, self._attempt, args=(pending,)
+            )
+        else:
+            self._attempt(pending)
+
+    # ------------------------------------------------------------------
+    def _open_circuit(self) -> None:
+        self.circuit_open = True
+        self._circuit_opened_at = self.sim.now
+        self.metrics.record_circuit_open()
+        if self.on_circuit_open is not None:
+            self.on_circuit_open(self.switch, self.sim.now)
+
+    def _close_circuit(self) -> None:
+        if not self.circuit_open:
+            return
+        self.circuit_open = False
+        if self._circuit_opened_at is not None:
+            self.metrics.degraded_seconds += self.sim.now - self._circuit_opened_at
+        self._circuit_opened_at = None
+        if self.on_circuit_close is not None:
+            self.on_circuit_close(self.switch, self.sim.now)

@@ -1,0 +1,364 @@
+"""The southbound fabric: desired state, transactions, anti-entropy.
+
+:class:`SouthboundFabric` owns one control channel per physical switch
+and the single *desired* :class:`~repro.southbound.state.NetworkState`.
+State changes flow through exactly one door:
+
+* :meth:`adopt` — bless the network's current (legacy-installed) state
+  as desired epoch 0 without pushing anything, so enabling the fabric on
+  an already-deployed network is a no-op on the wire.
+* :meth:`push_desired` — render a new desired state from fresh
+  :class:`~repro.core.rulegen.GeneratedRules` (bumping per-class
+  versions where content changed), open a new epoch, and drive a
+  make-before-break :class:`~repro.southbound.transaction.Transaction`
+  toward it.
+* the **reconciler** — a periodic anti-entropy pass diffing installed
+  against desired and repairing drift with fresh transactions (same
+  epoch, new transaction IDs), regardless of *why* the drift exists:
+  lost rollbacks, partial deletes, failed swaps, or a vSwitch shedding
+  rules when a VM died.
+
+An epoch *converges* when a diff comes back empty; the fabric records
+the convergence latency and fires the epoch's ``on_converged`` callback
+exactly once (the chaos recovery path hangs deployment verification off
+it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.rulegen import GeneratedRules, RuleGenerator
+from repro.dataplane.network import DataPlaneNetwork
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.rng import SeededRNG, derive
+from repro.southbound.channel import ControlChannel, SwitchAgent
+from repro.southbound.config import (
+    SOUTHBOUND_STREAM,
+    ChannelConfig,
+    SouthboundChaosConfig,
+)
+from repro.southbound.metrics import (
+    EpochConvergence,
+    SouthboundMetrics,
+    TXN_COMMITTED,
+)
+from repro.southbound.state import (
+    NetworkState,
+    SwitchDiff,
+    class_fingerprint,
+    diff_states,
+    read_installed,
+    render_desired,
+)
+from repro.southbound.transaction import Transaction
+from repro.traffic.classes import TrafficClass
+from repro.vnf.instance import VNFInstance
+
+
+class SouthboundFabric:
+    """Fault-tolerant rule distribution for one data-plane network.
+
+    Args:
+        seed: the *run* seed; all channel randomness lives on
+            ``derive(seed, "chaos.southbound")`` child streams, so the
+            fabric never perturbs traffic or data-plane chaos draws.
+        rulegen: used to materialise VNF instances referenced by pushed
+            rules (instance creation is hypervisor-local, not a rule).
+        chaos: the control-plane fault model; the default injects
+            nothing, making the channel a deterministic 70 ms round trip.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: DataPlaneNetwork,
+        seed: int,
+        rulegen: RuleGenerator,
+        config: Optional[ChannelConfig] = None,
+        chaos: Optional[SouthboundChaosConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.rulegen = rulegen
+        self.config = config or ChannelConfig()
+        self.chaos = chaos or SouthboundChaosConfig()
+        self.metrics = SouthboundMetrics()
+        #: Degradation hooks for the chaos layer (set by ChaosEngine).
+        self.on_degraded: Optional[Callable[[str, float], None]] = None
+        self.on_restored: Optional[Callable[[str, float], None]] = None
+
+        base = derive(seed, SOUTHBOUND_STREAM)
+        self.channels: Dict[str, ControlChannel] = {}
+        for s in sorted(network.switches):
+            agent = SwitchAgent(s, network, on_paths_applied=self._paths_applied)
+            self.channels[s] = ControlChannel(
+                sim,
+                agent,
+                self.config,
+                self.chaos,
+                SeededRNG(derive(base, f"channel.{s}")),
+                self.metrics,
+                on_circuit_open=self._circuit_opened,
+                on_circuit_close=self._circuit_closed,
+            )
+
+        self.desired: Optional[NetworkState] = None
+        self.epoch = 0
+        self.converged_epoch = -1
+        self.desired_since = 0.0
+        self.versions: Dict[str, int] = {}
+        self._fingerprints: Dict[str, tuple] = {}
+        self.instances: Dict[str, VNFInstance] = {}
+        self.active_paths: Dict[str, tuple] = {}
+        self._txn_counter = 0
+        #: Diff summary of the most recent :meth:`push_desired` (not of
+        #: reconciler repairs); recovery reports it per convergence.
+        self.last_push: Dict[str, int] = {"switches": 0, "ops": 0, "vsw_ops": 0}
+        self.current_txn: Optional[Transaction] = None
+        self._on_converged: Optional[Callable[[EpochConvergence], None]] = None
+        self._degraded_solver = False
+        self._reconcile_timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    # Desired-state lifecycle
+    # ------------------------------------------------------------------
+    def adopt(
+        self,
+        rules: GeneratedRules,
+        classes: Sequence[TrafficClass],
+        instances: Optional[Dict[str, VNFInstance]] = None,
+    ) -> None:
+        """Bless the legacy-installed state as desired epoch 0.
+
+        The initial deployment goes through the controller's normal
+        install path; the fabric adopts the result, so by construction
+        epoch 0 is already converged (``drift_count() == 0``).
+        """
+        self.instances = dict(instances or {})
+        self._fingerprints = {
+            c.class_id: class_fingerprint(rules, c) for c in classes
+        }
+        self.versions = {}
+        self.desired = render_desired(
+            sorted(self.network.switches),
+            sorted(self.network.vswitches),
+            rules,
+            classes,
+            {},
+            self.versions,
+        )
+        self.active_paths = {c.class_id: tuple(c.path) for c in classes}
+        self.epoch = 0
+        self.converged_epoch = 0
+        self.desired_since = self.sim.now
+
+    def push_desired(
+        self,
+        rules: GeneratedRules,
+        classes: Sequence[TrafficClass],
+        stranded: Optional[Dict[str, str]] = None,
+        instances: Optional[Dict[str, VNFInstance]] = None,
+        on_converged: Optional[Callable[[EpochConvergence], None]] = None,
+        degraded_solver: bool = False,
+    ) -> int:
+        """Open a new desired-state epoch and start pushing toward it.
+
+        Args:
+            stranded: ``class_id -> ingress switch`` of quarantined
+                classes (their rules are withdrawn; a DROP guards the
+                ingress; their registered path is deliberately kept so
+                in-flight packets still walk into the DROP).
+            instances: the surviving instance map (replaces the
+                fabric's; dead instances must not linger here).
+            on_converged: fired exactly once, when every switch first
+                reaches zero drift against this epoch.
+
+        Returns:
+            The new epoch number.
+        """
+        stranded = dict(stranded or {})
+        if instances is not None:
+            self.instances = dict(instances)
+        current = {c.class_id for c in classes}
+        for c in classes:
+            fp = class_fingerprint(rules, c)
+            old = self._fingerprints.get(c.class_id)
+            if old is not None and old != fp:
+                # Content changed: new sub-ID version => pure-add rules.
+                self.versions[c.class_id] = self.versions.get(c.class_id, 0) + 1
+            self._fingerprints[c.class_id] = fp
+        for cid in list(self._fingerprints):
+            if cid not in current:
+                del self._fingerprints[cid]
+
+        self.instances = self.rulegen.materialize_instances(
+            rules, self.network, sim=self.sim, instances=self.instances
+        )
+        self.desired = render_desired(
+            sorted(self.network.switches),
+            sorted(self.network.vswitches),
+            rules,
+            classes,
+            stranded,
+            self.versions,
+        )
+        self.epoch += 1
+        self.desired_since = self.sim.now
+        self._on_converged = on_converged
+        self._degraded_solver = degraded_solver
+        diffs = self._diffs()
+        vsw_kinds = ("vsw_put", "vsw_del", "origin_sync")
+        self.last_push = {
+            "switches": len(diffs),
+            "ops": sum(d.op_count() for d in diffs),
+            "vsw_ops": sum(
+                1
+                for d in diffs
+                for op in (*d.adds, *d.swap, *d.dels)
+                if op[0] in vsw_kinds
+            ),
+        }
+        self._launch(diffs)
+        return self.epoch
+
+    # ------------------------------------------------------------------
+    # Reconciliation (anti-entropy)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic reconciler."""
+        if self._reconcile_timer is None:
+            self._reconcile_timer = self.sim.every(
+                self.config.reconcile_interval, self._reconcile
+            )
+
+    def stop(self) -> None:
+        """Disarm the reconciler and settle degraded-time accounting."""
+        if self._reconcile_timer is not None:
+            self._reconcile_timer.cancel()
+            self._reconcile_timer = None
+        for channel in self.channels.values():
+            channel.finalize(self.sim.now)
+
+    def _reconcile(self) -> None:
+        if self.desired is None:
+            return
+        diffs = self._diffs()
+        drift = sum(d.op_count() for d in diffs)
+        if self.current_txn is not None:
+            # A transaction owns the wire; measuring is fine, repairing
+            # would race it.
+            self.metrics.record_reconcile(drift, repaired=False)
+            return
+        if drift == 0:
+            self.metrics.record_reconcile(0, repaired=False)
+            self._note_converged()
+            return
+        self.metrics.record_reconcile(drift, repaired=True)
+        self._launch(diffs)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def _launch(self, diffs: List[SwitchDiff]) -> None:
+        if not diffs:
+            self._note_converged()
+            return
+        self._txn_counter += 1
+        txn = Transaction(
+            self.sim,
+            self.channels,
+            self.epoch,
+            self._txn_counter,
+            diffs,
+            on_done=lambda outcome, rollback_ops: None,
+        )
+        txn.on_done = lambda outcome, rollback_ops: self._txn_done(
+            txn, outcome, rollback_ops
+        )
+        self.current_txn = txn
+        txn.start()
+
+    def _txn_done(self, txn: Transaction, outcome: str, rollback_ops: int) -> None:
+        self.metrics.record_transaction(outcome, rollback_ops)
+        if self.current_txn is txn:
+            self.current_txn = None
+        if outcome == TXN_COMMITTED and txn.epoch == self.epoch:
+            if not self._diffs():
+                self._note_converged()
+        # Every other outcome: the reconciler drives convergence.
+
+    def _note_converged(self) -> None:
+        if self.converged_epoch >= self.epoch:
+            return
+        self.converged_epoch = self.epoch
+        record = EpochConvergence(
+            epoch=self.epoch,
+            pushed_at=self.desired_since,
+            converged_at=self.sim.now,
+            degraded_solver=self._degraded_solver,
+        )
+        self.metrics.record_convergence(record)
+        callback = self._on_converged
+        if callback is not None:
+            callback(record)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (chaos injector)
+    # ------------------------------------------------------------------
+    def disconnect(self, switch: str) -> None:
+        self.channels[switch].disconnect()
+
+    def reconnect(self, switch: str) -> None:
+        self.channels[switch].reconnect()
+
+    def _circuit_opened(self, switch: str, now: float) -> None:
+        if self.on_degraded is not None:
+            self.on_degraded(switch, now)
+
+    def _circuit_closed(self, switch: str, now: float) -> None:
+        if self.on_restored is not None:
+            self.on_restored(switch, now)
+
+    def _paths_applied(self, paths: tuple) -> None:
+        for class_id, path in paths:
+            self.active_paths[class_id] = tuple(path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        return self.converged_epoch >= self.epoch
+
+    def drift_count(self) -> int:
+        """Total op count separating installed from desired state."""
+        return sum(d.op_count() for d in self._diffs())
+
+    def degraded_switches(self) -> List[str]:
+        return sorted(s for s, c in self.channels.items() if c.degraded)
+
+    def active_path(self, class_id: str) -> Optional[tuple]:
+        """The routing path currently live for a class (probe oracle)."""
+        return self.active_paths.get(class_id)
+
+    def state_signature(self) -> str:
+        """Canonical JSON of installed state + channel ledger.
+
+        Bit-identical across same-seed runs; the bit-identity tests and
+        the ``southbound-chaos`` experiment both hash this.
+        """
+        return json.dumps(
+            {
+                "epoch": self.epoch,
+                "converged_epoch": self.converged_epoch,
+                "installed": read_installed(self.network).signature_payload(),
+                "metrics": self.metrics.to_dict(),
+            },
+            sort_keys=True,
+        )
+
+    def _diffs(self) -> List[SwitchDiff]:
+        assert self.desired is not None
+        return diff_states(read_installed(self.network), self.desired)

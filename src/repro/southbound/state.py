@@ -1,0 +1,329 @@
+"""Desired vs installed data-plane state: rendering, reading, diffing.
+
+The fabric's reconciler and its transactional installer share one
+diff engine: *desired* state is rendered from
+:class:`~repro.core.rulegen.GeneratedRules` (plus quarantine entries for
+stranded classes), *installed* state is read back from the live
+:class:`~repro.dataplane.network.DataPlaneNetwork`, and the per-switch
+difference becomes phased op lists (adds → classification swap →
+deletes) for the make-before-break transaction.
+
+Sub-class ID versioning (the make-before-break enabler)
+-------------------------------------------------------
+
+A rule *update* for an existing ``(class, sub)`` vSwitch key cannot be
+pushed safely in any phase: while switches disagree, a packet classified
+by an old entry could be processed by a new rule half-way (policy
+violation).  The fabric therefore bumps a per-class *version* whenever a
+class's rule content changes, and renders every sub-class ID of that
+class as ``sub_id + version × VERSION_STRIDE``.  New-version rules are
+pure *adds* — unreferenced (inert) until the class's ingress
+classification swaps to the new IDs in one atomic sync — and the old
+version's rules become pure *deletes* afterwards.  Sub-class IDs are
+internal correlation tags (matched only between a classification entry's
+action and the vSwitch rule key), so renumbering is invisible to the
+data plane's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.rulegen import GeneratedRules
+from repro.dataplane.network import DataPlaneNetwork
+from repro.dataplane.switch import (
+    classification_entry,
+    host_match_entry,
+    pass_by_entry,
+    quarantine_entry,
+)
+from repro.dataplane.vswitch import UPLINK
+from repro.southbound.messages import EntrySpec, entry_spec
+from repro.traffic.classes import TrafficClass
+
+#: Gap between consecutive sub-class ID versions of one class.  Far above
+#: any real sub-class count (TagAllocator IDs are small ints), so two
+#: versions can never collide.
+VERSION_STRIDE = 1_000_000
+
+
+def versioned(sub_id: int, version: int) -> int:
+    """The wire sub-class ID of ``sub_id`` at ``version``."""
+    return sub_id + version * VERSION_STRIDE
+
+
+def _classify_prefix(switch: str) -> str:
+    return f"{switch}/classify/"
+
+
+@dataclass
+class NetworkState:
+    """Canonical per-switch snapshot of every APPLE-managed rule.
+
+    Used for both the *desired* rendering and the *installed* read-back,
+    so convergence is literally ``installed == desired`` field by field.
+
+    Attributes:
+        tcam: per physical switch, entries by name.
+        vsw: per host switch, vSwitch rules by ``(class_id, sub_id)`` →
+            ``(instance_ids, exit_host_tag)``.
+        origin: per host switch, the origin classification tuples.
+        paths: registered routing path per class (desired side only lists
+            classes of the current plan; stale installed paths of removed
+            classes are deliberately kept — quarantine needs a path to
+            walk packets into the ingress DROP).
+    """
+
+    tcam: Dict[str, Dict[str, EntrySpec]] = field(default_factory=dict)
+    vsw: Dict[str, Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]]] = field(
+        default_factory=dict
+    )
+    origin: Dict[str, Tuple[tuple, ...]] = field(default_factory=dict)
+    paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def signature_payload(self) -> dict:
+        """JSON-ready canonical form (tests compare state signatures)."""
+        return {
+            "tcam": {
+                s: sorted(map(repr, specs.values()))
+                for s, specs in sorted(self.tcam.items())
+            },
+            "vsw": {
+                s: sorted(
+                    repr((k, v)) for k, v in table.items()
+                )
+                for s, table in sorted(self.vsw.items())
+            },
+            "origin": {
+                s: sorted(map(repr, tup)) for s, tup in sorted(self.origin.items())
+            },
+        }
+
+
+def class_fingerprint(
+    rules: GeneratedRules, cls: TrafficClass
+) -> tuple:
+    """Everything about one class's rules that must swap atomically.
+
+    A change in any component (classification rows, vSwitch rules, origin
+    rows, or the routing path) bumps the class's version, turning the
+    update into add-new → swap → delete-old.
+    """
+    cid = cls.class_id
+    classifications = []
+    for switch, rs in sorted(rules.switch_rule_sets.items()):
+        for row in rs.classifications:
+            if row[0] == cid:
+                classifications.append((switch, row))
+    vsw_rows = []
+    for switch, lst in sorted(rules.vswitch_rules.items()):
+        for class_id, sub_id, rule in lst:
+            if class_id == cid:
+                vsw_rows.append(
+                    (switch, sub_id, tuple(rule.instance_ids), rule.exit_host_tag)
+                )
+    origin_rows = []
+    for switch, lst in sorted(rules.origin_rules.items()):
+        for row in lst:
+            if row[0] == cid:
+                origin_rows.append((switch, row))
+    return (
+        tuple(classifications),
+        tuple(vsw_rows),
+        tuple(origin_rows),
+        tuple(cls.path),
+    )
+
+
+def render_desired(
+    all_switches: Iterable[str],
+    host_switches: Iterable[str],
+    rules: GeneratedRules,
+    classes: Iterable[TrafficClass],
+    stranded: Mapping[str, str],
+    versions: Mapping[str, int],
+) -> NetworkState:
+    """Desired state for one plan.
+
+    Args:
+        all_switches: every physical switch (each gets at least pass-by).
+        host_switches: switches with an APPLE host (vSwitch state exists).
+        rules: the Rule Generator's output for the current plan.
+        classes: the plan's classes (paths + ingress switches).
+        stranded: class_id → ingress switch of quarantined classes.
+        versions: per-class sub-ID version (see module docstring).
+    """
+    state = NetworkState()
+    for s in all_switches:
+        spec = entry_spec(pass_by_entry(s))
+        state.tcam[s] = {spec[0]: spec}
+    for s in host_switches:
+        state.vsw.setdefault(s, {})
+        state.origin.setdefault(s, ())
+
+    for s, rs in rules.switch_rule_sets.items():
+        table = state.tcam.setdefault(s, {})
+        if rs.host_match:
+            spec = entry_spec(host_match_entry(s))
+            table[spec[0]] = spec
+        for class_id, hash_range, sub_id, first_host in rs.classifications:
+            vsub = versioned(sub_id, versions.get(class_id, 0))
+            spec = entry_spec(
+                classification_entry(s, class_id, hash_range, vsub, first_host)
+            )
+            table[spec[0]] = spec
+
+    for class_id, src in stranded.items():
+        table = state.tcam.setdefault(src, {})
+        spec = entry_spec(quarantine_entry(src, class_id))
+        table[spec[0]] = spec
+
+    for s, lst in rules.vswitch_rules.items():
+        table = state.vsw.setdefault(s, {})
+        for class_id, sub_id, rule in lst:
+            vsub = versioned(sub_id, versions.get(class_id, 0))
+            table[(class_id, vsub)] = (
+                tuple(rule.instance_ids),
+                rule.exit_host_tag,
+            )
+
+    for s, lst in rules.origin_rules.items():
+        rows = []
+        for class_id, hash_range, sub_id, first_host in lst:
+            vsub = versioned(sub_id, versions.get(class_id, 0))
+            rows.append((class_id, tuple(hash_range), vsub, first_host))
+        state.origin[s] = tuple(rows)
+
+    for cls in classes:
+        state.paths[cls.class_id] = tuple(cls.path)
+    return state
+
+
+def read_installed(network: DataPlaneNetwork) -> NetworkState:
+    """Read the live network back into the canonical state shape."""
+    state = NetworkState()
+    for s, sw in network.switches.items():
+        state.tcam[s] = {e.name: entry_spec(e) for e in sw.table.entries()}
+    for s, vsw in network.vswitches.items():
+        table: Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]] = {}
+        for (in_port, class_id, sub_id), rule in vsw.installed_rules().items():
+            if in_port != UPLINK or sub_id is None:
+                continue
+            table[(class_id, sub_id)] = (
+                tuple(rule.instance_ids),
+                rule.exit_host_tag,
+            )
+        state.vsw[s] = table
+        state.origin[s] = tuple(
+            (cid, tuple(hr), sid, fh)
+            for cid, hr, sid, fh in vsw.installed_origin_rules()
+        )
+    state.paths = dict(network.class_paths)
+    return state
+
+
+@dataclass
+class SwitchDiff:
+    """Phased op lists reconciling one switch toward desired state."""
+
+    switch: str
+    adds: List[tuple] = field(default_factory=list)
+    swap: List[tuple] = field(default_factory=list)
+    dels: List[tuple] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.adds or self.swap or self.dels)
+
+    def op_count(self) -> int:
+        return len(self.adds) + len(self.swap) + len(self.dels)
+
+
+def diff_states(
+    installed: NetworkState, desired: NetworkState
+) -> List[SwitchDiff]:
+    """Per-switch phased diffs (only switches with work), sorted by name.
+
+    Phase safety invariants:
+
+    * ``adds`` contains only state that is *inert* until the swap —
+      non-classification TCAM entries (host-match for newly used hosts,
+      quarantine DROPs below classification priority) and vSwitch rules
+      for keys nothing classifies to yet.
+    * ``swap`` is one atomic ``classify_sync`` (and/or ``origin_sync``)
+      per switch: classification entries and the affected class paths
+      change together, so at every instant each class's packets are
+      either fully old-route or fully new-route.
+    * ``dels`` removes only state nothing references once every swap has
+      been acknowledged.
+    """
+    out: List[SwitchDiff] = []
+    switches = sorted(set(installed.tcam) | set(desired.tcam))
+    for s in switches:
+        diff = SwitchDiff(switch=s)
+        prefix = _classify_prefix(s)
+        inst = installed.tcam.get(s, {})
+        want = desired.tcam.get(s, {})
+
+        inst_classify = {n: v for n, v in inst.items() if n.startswith(prefix)}
+        want_classify = {n: v for n, v in want.items() if n.startswith(prefix)}
+        inst_other = {n: v for n, v in inst.items() if n not in inst_classify}
+        want_other = {n: v for n, v in want.items() if n not in want_classify}
+
+        for name in sorted(want_other):
+            if name not in inst_other:
+                diff.adds.append(("tcam_put", want_other[name]))
+            elif inst_other[name] != want_other[name]:
+                # Same-name content change (should not occur for the
+                # static entry kinds; handled atomically for safety).
+                diff.swap.append(("tcam_put", want_other[name]))
+        for name in sorted(inst_other):
+            if name not in want_other:
+                diff.dels.append(("tcam_del", name))
+
+        if set(inst_classify.items()) != set(want_classify.items()):
+            paths = _paths_for_switch(s, desired)
+            diff.swap.append(
+                (
+                    "classify_sync",
+                    tuple(want_classify[n] for n in sorted(want_classify)),
+                    paths,
+                )
+            )
+
+        inst_vsw = installed.vsw.get(s, {})
+        want_vsw = desired.vsw.get(s, {})
+        for key in sorted(want_vsw):
+            if key not in inst_vsw:
+                ids, tag = want_vsw[key]
+                diff.adds.append(("vsw_put", key[0], key[1], ids, tag))
+            elif inst_vsw[key] != want_vsw[key]:
+                ids, tag = want_vsw[key]
+                diff.swap.append(("vsw_put", key[0], key[1], ids, tag))
+        for key in sorted(inst_vsw):
+            if key not in want_vsw:
+                diff.dels.append(("vsw_del", key[0], key[1]))
+
+        inst_origin = installed.origin.get(s, ())
+        want_origin = desired.origin.get(s, ())
+        if tuple(inst_origin) != tuple(want_origin):
+            paths = _paths_for_switch(s, desired)
+            diff.swap.append(("origin_sync", tuple(want_origin), paths))
+
+        if not diff.empty:
+            out.append(diff)
+    return out
+
+
+def _paths_for_switch(switch: str, desired: NetworkState) -> tuple:
+    """(class_id, path) updates riding a sync op at ``switch``.
+
+    A class's path is registered at its ingress switch's sync, so path
+    and classification change in the same atomic apply.
+    """
+    rows = []
+    for class_id, path in sorted(desired.paths.items()):
+        if path and path[0] == switch:
+            rows.append((class_id, tuple(path)))
+    return tuple(rows)

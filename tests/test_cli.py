@@ -11,6 +11,7 @@ def test_all_experiments_registered():
         "table1", "table4", "table5",
         "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
         "packet_replay", "failure_recovery", "failure_sweep",
+        "southbound_chaos",
     }
     assert set(EXPERIMENTS) == expected
     assert _QUICKABLE <= set(EXPERIMENTS)
@@ -21,7 +22,9 @@ def test_name_normalization_single_source():
     assert normalize_name("failure-recovery") == "failure_recovery"
     assert normalize_name("failure_recovery") == "failure_recovery"
     assert normalize_name("  Packet-Replay ") == "packet_replay"
+    assert normalize_name("southbound-chaos") == "southbound_chaos"
     assert display_name("failure_recovery") == "failure-recovery"
+    assert display_name("southbound_chaos") == "southbound-chaos"
     assert display_name("fig12") == "fig12"
     # Every registry key round-trips through both spellings.
     for key in EXPERIMENTS:
