@@ -1,25 +1,33 @@
-"""Data-plane fast-path benchmark: scalar vs flow-cached vs batched walks.
+"""Data-plane fast-path benchmark: scalar, flow-cached, batched, sharded.
 
-Acceptance target of the data-plane fast-path work: on the
+Acceptance targets of the data-plane fast-path work: on the
 ``packet_replay`` workload (internet2, 4 s of CBR traffic) the batched
 walker (``inject_stream`` driven by :class:`BatchedCBRMux`) sustains at
 least 10x the packets/sec of the pre-PR scalar path (per-packet
-``inject`` with the TCAM flow cache disabled), with identical delivery
-stats — same delivered/dropped counts and zero policy violations.
+``inject`` with the TCAM flow cache disabled), and the sharded multi-core
+walker is never slower than the batched one (>= 0.95x with its in-process
+fallback on one core; >= 2.5x with 4 shards on hosts with >= 4 cores) —
+all with identical delivery stats: same delivered/dropped counts and zero
+policy violations.
 
-All three modes replay exactly the same packet sequence: same seed, same
+Every mode replays exactly the same packet sequence: same seed, same
 per-class flow-hash cycle, same CBR timestamps.  Packets/sec is best-of-N
 wall-clock; results append to the ``BENCH_dataplane.json`` trajectory at
 the repo root.
 """
 
+import os
 import time
 
+import numpy as np
+
+from repro.dataplane.flowhash import cycling_hashes
 from repro.dataplane.packet import Packet
+from repro.dataplane.sharded import ShardedDataPlane
 from repro.experiments.harness import standard_setup
 from repro.experiments.packet_replay import PPS_PER_MBPS, scaled_catalog
 from repro.sim.kernel import Simulator
-from repro.sim.sources import BatchedCBRMux, CBRSource
+from repro.sim.sources import BatchedCBRMux, CBRSource, merge_cbr_timeline
 
 #: Simulated seconds of CBR traffic per measurement.
 DURATION = 4.0
@@ -119,6 +127,37 @@ def _run_batched(plan, network):
     return sent[0], elapsed, network.stats_snapshot()
 
 
+def _run_sharded(plan, network, shards):
+    """Sharded replay: the merged timeline is built by the same float
+    left-folds the mux performs, then walked column-wise by shard (the
+    timeline build is inside the timed region, mirroring the mux's share
+    of the batched measurement)."""
+    sim = Simulator(seed=_SEED)
+    network.reset_runtime_state()
+    for sw in network.switches.values():
+        sw.table.cache_enabled = True
+    rng = sim.rng.child("packet-replay-phases")
+    streams = []
+    weights = {}
+    for cls, pps in _classes(plan):
+        streams.append((cls.class_id, rng.uniform(0.0, 1.0 / pps), 1.0 / pps))
+        weights[cls.class_id] = pps
+    started = time.perf_counter()
+    keys, kidx, ts = merge_cbr_timeline(streams, DURATION)
+    hashes = np.empty(len(ts))
+    for ci in range(len(keys)):
+        mask = kidx == ci
+        m = int(mask.sum())
+        if m:
+            hashes[mask] = cycling_hashes(m)
+    with ShardedDataPlane(
+        network, shards=shards, class_weights=weights
+    ) as sharded:
+        sharded.inject_columns(keys, kidx, hashes, ts)
+    elapsed = time.perf_counter() - started
+    return len(ts), elapsed, network.stats_snapshot()
+
+
 def _best_pps(runner):
     best = 0.0
     sent = stats = None
@@ -175,3 +214,56 @@ def test_batched_walk_speedup(record_bench_dataplane):
         f"batched walk only {speedup:.2f}x faster than the scalar path "
         f"({batched_pps:.0f} vs {scalar_pps:.0f} pps)"
     )
+
+
+def test_sharded_walk_speedup(record_bench_dataplane):
+    plan, network = _deploy()
+
+    batched_pps, sent, batched_stats = _best_pps(
+        lambda: _run_batched(plan, network)
+    )
+    delivered, dropped, violations = batched_stats.as_tuple()
+    assert violations == 0
+
+    sharded_pps = {}
+    for shards in (1, 2, 4, 8):
+        pps, sharded_sent, sharded_stats = _best_pps(
+            lambda: _run_sharded(plan, network, shards)
+        )
+        # Bit-identity across shard counts and vs the batched walk.
+        assert sharded_sent == sent
+        assert sharded_stats == batched_stats
+        sharded_pps[shards] = pps
+
+    best = max(sharded_pps.values())
+    speedup = best / batched_pps
+    cores = os.cpu_count() or 1
+    record_bench_dataplane(
+        "dataplane_sharded_replay",
+        {
+            "topology": "internet2",
+            "duration_s": DURATION,
+            "repeats": REPEATS,
+            "host_cores": cores,
+            "packets": sent,
+            "delivered": delivered,
+            "dropped": dropped,
+            "violations": violations,
+            "batched_pps": round(batched_pps, 1),
+            "sharded_pps": {
+                str(k): round(v, 1) for k, v in sorted(sharded_pps.items())
+            },
+            "speedup_sharded_vs_batched": round(speedup, 2),
+        },
+    )
+    # The in-process fallback must never lose to the batched walk by more
+    # than measurement noise; real fan-out must win outright.
+    assert speedup >= 0.95, (
+        f"sharded walk only {speedup:.2f}x the batched path "
+        f"({best:.0f} vs {batched_pps:.0f} pps)"
+    )
+    if cores >= 4:
+        assert speedup >= 2.5, (
+            f"sharded walk only {speedup:.2f}x the batched path on a "
+            f"{cores}-core host ({best:.0f} vs {batched_pps:.0f} pps)"
+        )

@@ -11,7 +11,11 @@ Invalidation contract: a VM kill or brownout changes state that cached
 batched-walk plans captured by value (instance admission budgets), and a
 link failure changes which hops are reachable, so every applied or lifted
 fault bumps the network's plan-invalidation epoch
-(:meth:`DataPlaneNetwork.invalidate_plans` / ``set_link_failed``).
+(:meth:`DataPlaneNetwork.invalidate_plans` / ``set_link_failed``).  The
+sharded data plane rides the same protocol: the epoch bump also expires
+its flow partition and per-class interval edges, so the next sharded
+inject revalidates against the mutated ground truth (sticky shard
+assignments keep surviving instances where they were).
 """
 
 from __future__ import annotations

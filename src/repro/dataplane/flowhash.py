@@ -53,6 +53,28 @@ def suffix_hash(header: Dict[str, int], class_prefix_len: int = 24) -> float:
     return suffix / (1 << host_bits)
 
 
+#: Step of the replay workloads' cycling flow-hash sequence; coprime-ish
+#: with 1.0 so consecutive packets spread across the hash domain (and all
+#: sub-class hash ranges see traffic proportional to their width).
+CYCLE_STEP = 0.137
+
+
+def cycling_hashes(count: int, start: int = 1, step: float = CYCLE_STEP):
+    """Vectorized ``(k * step) % 1.0`` for ``k = start .. start+count-1``.
+
+    The replay experiments derive per-packet flow hashes from a per-class
+    packet counter via exactly that scalar expression; the columnar
+    sharded walker needs the same sequence as a float64 array.  For the
+    non-negative products involved, ``numpy.mod`` and Python's ``%``
+    both reduce to C ``fmod``, so the array is bit-identical to the
+    scalar loop (asserted in tests).
+    """
+    import numpy as np
+
+    k = np.arange(start, start + count, dtype=np.float64)
+    return np.mod(k * step, 1.0)
+
+
 def hash_spread(headers: Iterable[Dict[str, int]], buckets: int = 10) -> list:
     """Histogram of flow hashes (uniformity check used in tests)."""
     counts = [0] * buckets

@@ -362,12 +362,7 @@ class DataPlaneNetwork:
         deferral is observation-order only.
         """
         started = perf_counter()
-        snapshot = self._generation_snapshot()
-        if snapshot != self._plans_snapshot:
-            self._flush_dirty()  # pending counts reference the old plans
-            self._plans.clear()
-            self._plan_pool.clear()
-            self._plans_snapshot = snapshot
+        self._ensure_current_plans()
         plans = self._plans
         dirty = self._dirty_plans
         size = size_bytes
@@ -450,6 +445,41 @@ class DataPlaneNetwork:
             tuple(v.generation for v in self._vswitch_list),
             self._overlay_epoch,
         )
+
+    def _ensure_current_plans(self) -> None:
+        """Retire cached walk plans if any rule state changed since caching.
+
+        Pending deferred counts flush first (they reference the old plan
+        objects).  Shared by the batched walker and the sharded walker
+        (:mod:`repro.dataplane.sharded`), whose flow partition is keyed on
+        the same snapshot — one invalidation protocol covers both.
+        """
+        snapshot = self._generation_snapshot()
+        if snapshot != self._plans_snapshot:
+            self._flush_dirty()  # pending counts reference the old plans
+            self._plans.clear()
+            self._plan_pool.clear()
+            self._plans_snapshot = snapshot
+
+    def walk_plan(self, class_id: str, flow_hash: float) -> _WalkPlan:
+        """The (cached) walk plan of one ``(class, flow-hash)`` pair.
+
+        Exactly the lookup ``inject_stream`` performs per packet, exposed
+        for the columnar sharded walker: resolve once per distinct
+        ``(class, bucket)`` column, cache unless the bucket straddles a
+        hash-range boundary.  Callers must have run
+        :meth:`_ensure_current_plans` this generation.
+        """
+        cplans = self._plans.get(class_id)
+        if cplans is None:
+            cplans = self._plans[class_id] = {}
+        bucket = int(flow_hash * _BUCKETS)
+        plan = cplans.get(bucket)
+        if plan is None:
+            plan = self._resolve_plan(class_id, flow_hash)
+            if plan.cacheable:
+                cplans[bucket] = plan
+        return plan
 
     def _resolve_plan(self, class_id: str, flow_hash: float) -> _WalkPlan:
         """Walk a probe through the pipeline once, recording the plan.

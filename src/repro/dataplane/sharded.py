@@ -1,0 +1,1207 @@
+"""Sharded, shared-nothing data plane: columnar walks over flow partitions.
+
+The batched walker (:meth:`DataPlaneNetwork.inject_stream`) already
+amortises rule lookups per hash bucket but still executes per packet.
+This module adds the next structural step, in three layers:
+
+**Partition** (:func:`build_partition`).  The unit of work is a
+``(class, hash-interval)`` pair, where the intervals come from the union
+of hash-range boundaries installed along the class's path
+(:meth:`TcamTable.hash_boundaries`): within one interval every flow of
+the class matches the same entry sequence at every hop, so probing the
+interval midpoint with the planner yields the interval's exact VNF
+instance set.  Units are then joined with a union-find whenever they
+share an instance — an instance's sliding admission window is the one
+piece of order-dependent mutable state in a walk, so two units touching
+the same instance must never run on different shards.  The resulting
+connected components are *shared-nothing*: components are distributed
+across shards (largest weight first, least-loaded shard, deterministic
+tie-breaks) and never split, which is what makes sharded execution
+bit-identical to the global-order walk no matter how shards interleave.
+The partition is keyed on the same generation snapshot as the walk-plan
+cache, so every chaos invalidation (``invalidate_plans``, link failures,
+rule mutations) retires it automatically.
+
+**Columnar walk** (:class:`_ColumnWalker`).  Within a shard the column of
+``(class_idx, hash, timestamp)`` arrays is grouped by ``(class, bucket)``
+via one ``np.unique`` — the columnar TCAM walk: each distinct group
+resolves its per-hop TCAM hits once through the plan cache.  The walker
+then tries to apply whole time-slices in bulk: for every instance
+appearing in the slice it evaluates a vectorised *no-drop* admission
+check (exact sliding-window arithmetic over the instance's merged
+arrival column), and if every instance admits everything, counters are
+bulk-added and windows bulk-extended — numpy instead of the per-packet
+loop.  If anything could drop, the slice is bisected; slices at or below
+:data:`MIN_LEAF` run through the unmodified ``inject_stream``, which is
+exact by definition (and also covers the scalar-fallback plans: boundary
+buckets, header-modifying VNF hops, downstream hooks).  Instances that
+fail a check are penalised so subsequent slices skip straight to the
+sequential path instead of re-paying a doomed vector check.
+
+**Process fan-out** (:class:`ShardedDataPlane`).  Shards can run in
+worker processes: workers are forked once (inheriting the deployed
+network as a copy-on-write replica), per-call timelines travel in a
+:mod:`multiprocessing.shared_memory` block, and each worker returns its
+outcomes plus a :class:`CounterDelta` — a commutative snapshot diff of
+every ledger/switch/vSwitch/instance counter — which the parent merges
+at flush time.  Order of merging is irrelevant because every counter
+update in a walk is ``+=``.  On one core (or when forking is
+unavailable, or inside another worker) execution stays in-process,
+running the shard columns sequentially on the parent network — still
+bit-identical, because shards share no instances.
+"""
+
+from __future__ import annotations
+
+import pickle
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataplane.network import DataPlaneNetwork, _WalkPlan
+from repro.obs import state as _obs
+from repro.parallel import (
+    auto_shards,
+    cpu_count,
+    fork_available,
+    in_worker,
+    mp_context,
+)
+from repro.perf import REGISTRY
+
+#: Bulk slices are bisected down to this size before giving up and
+#: running the exact per-packet walker on the slice.
+MIN_LEAF = 256
+
+#: Slices at or below this size go straight to the sequential walker when
+#: they contain a penalised instance or a scalar-fallback plan — skipping
+#: vector checks that are known (or certain) to fail.
+SEQ_BYPASS = 4 * MIN_LEAF
+
+#: Vector-check failures put an instance "in penalty" for this many
+#: sequential slices; while penalised, slices containing it skip the
+#: vector check entirely.  Keeps a steadily-overloaded instance from
+#: charging a failed check at every bisection level.
+PENALTY = 8
+
+
+# ----------------------------------------------------------------------
+# Commutative counter deltas
+# ----------------------------------------------------------------------
+@dataclass
+class CounterDelta:
+    """Every mutable counter of a network, as a snapshot or a diff.
+
+    All fields add elementwise, and every counter update a walk performs
+    is ``+=`` — so deltas from different shards commute: merging them in
+    any order yields the same totals as the global-order walk.
+    ``ledger`` is ``(delivered, dropped, violations)``; ``switches`` maps
+    name to ``(packets_seen, lookups, misses, cache_hits)``; ``vswitches``
+    maps name to ``(packets_in, packets_dropped)``; ``instances`` maps
+    ``(switch, alias)`` to ``(in, processed, dropped, bytes)``.
+    """
+
+    ledger: Tuple[int, int, int] = (0, 0, 0)
+    switches: Dict[str, Tuple[int, int, int, int]] = field(default_factory=dict)
+    vswitches: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    instances: Dict[Tuple[str, str], Tuple[int, int, int, int]] = field(
+        default_factory=dict
+    )
+
+    @staticmethod
+    def capture(network: DataPlaneNetwork) -> "CounterDelta":
+        """Absolute counter snapshot (flushes deferred counts first)."""
+        network.flush_counters()
+        switches = {}
+        for name, sw in network.switches.items():
+            t = sw.table
+            switches[name] = (
+                sw.packets_seen, t.lookup_count, t.miss_count, t.cache_hits
+            )
+        vswitches = {}
+        instances = {}
+        for name, vsw in network.vswitches.items():
+            vswitches[name] = (vsw.packets_in, vsw.packets_dropped)
+            for alias, inst in vsw._instances.items():
+                st = inst.stats
+                instances[(name, alias)] = (
+                    st.packets_in,
+                    st.packets_processed,
+                    st.packets_dropped,
+                    st.bytes_processed,
+                )
+        return CounterDelta(
+            ledger=(
+                network.delivered_count,
+                network.dropped_count,
+                network.violation_count,
+            ),
+            switches=switches,
+            vswitches=vswitches,
+            instances=instances,
+        )
+
+    def subtract(self, base: "CounterDelta") -> "CounterDelta":
+        """This snapshot minus ``base`` (what one shard's run added)."""
+
+        def sub(a, b):
+            return tuple(x - y for x, y in zip(a, b))
+
+        return CounterDelta(
+            ledger=sub(self.ledger, base.ledger),
+            switches={
+                k: sub(v, base.switches.get(k, (0,) * len(v)))
+                for k, v in self.switches.items()
+            },
+            vswitches={
+                k: sub(v, base.vswitches.get(k, (0,) * len(v)))
+                for k, v in self.vswitches.items()
+            },
+            instances={
+                k: sub(v, base.instances.get(k, (0,) * len(v)))
+                for k, v in self.instances.items()
+            },
+        )
+
+    def merge(self, other: "CounterDelta") -> "CounterDelta":
+        """Elementwise sum — commutative and associative by construction."""
+
+        def add_maps(a, b):
+            out = dict(a)
+            for k, v in b.items():
+                prev = out.get(k)
+                out[k] = v if prev is None else tuple(
+                    x + y for x, y in zip(prev, v)
+                )
+            return out
+
+        return CounterDelta(
+            ledger=tuple(x + y for x, y in zip(self.ledger, other.ledger)),
+            switches=add_maps(self.switches, other.switches),
+            vswitches=add_maps(self.vswitches, other.vswitches),
+            instances=add_maps(self.instances, other.instances),
+        )
+
+    def apply_to(self, network: DataPlaneNetwork) -> None:
+        """Add this delta into a live network's counters."""
+        d, dr, v = self.ledger
+        network.delivered_count += d
+        network.dropped_count += dr
+        network.violation_count += v
+        for name, (seen, lookups, misses, hits) in self.switches.items():
+            sw = network.switches[name]
+            sw.packets_seen += seen
+            sw.table.lookup_count += lookups
+            sw.table.miss_count += misses
+            sw.table.cache_hits += hits
+        for name, (pin, pdrop) in self.vswitches.items():
+            vsw = network.vswitches[name]
+            vsw.packets_in += pin
+            vsw.packets_dropped += pdrop
+        for (sw_name, alias), (pin, proc, drop, nbytes) in self.instances.items():
+            inst = network.vswitches[sw_name]._instances.get(alias)
+            if inst is None:
+                continue  # instance torn down since the worker forked
+            st = inst.stats
+            st.packets_in += pin
+            st.packets_processed += proc
+            st.packets_dropped += drop
+            st.bytes_processed += nbytes
+
+
+# ----------------------------------------------------------------------
+# Shared-nothing flow partition
+# ----------------------------------------------------------------------
+class FlowPartition:
+    """An immutable class → hash-interval → shard map.
+
+    Built by :func:`build_partition`; valid for exactly one generation
+    snapshot of the network (rule tables + vSwitches + failure overlay).
+    """
+
+    def __init__(
+        self,
+        snapshot: tuple,
+        nshards: int,
+        n_components: int,
+        class_bounds: Dict[str, np.ndarray],
+        class_shards: Dict[str, np.ndarray],
+        instance_shards: Dict[str, int],
+        has_hooks: bool,
+    ) -> None:
+        self.snapshot = snapshot
+        self.nshards = nshards
+        self.n_components = n_components
+        self._class_bounds = class_bounds
+        self._class_shards = class_shards
+        #: instance_id → shard, used to keep assignments sticky across
+        #: rebuilds (a fault must not migrate an instance's window state
+        #: to a different worker replica mid-run).
+        self.instance_shards = instance_shards
+        self.has_hooks = has_hooks
+
+    def shard_ids_for(self, class_id: str, hashes: np.ndarray) -> np.ndarray:
+        """Shard of every hash in ``hashes`` for one class (vectorised)."""
+        bounds = self._class_bounds[class_id]
+        shards = self._class_shards[class_id]
+        if len(bounds) == 0:
+            return np.full(len(hashes), shards[0], dtype=np.int64)
+        return shards[np.searchsorted(bounds, hashes, side="right")]
+
+
+def _uf_find(parent: dict, x):
+    root = x
+    while parent[root] != root:
+        root = parent[root]
+    while parent[x] != root:  # path compression
+        parent[x], x = root, parent[x]
+    return root
+
+
+def _uf_union(parent: dict, a, b) -> None:
+    ra, rb = _uf_find(parent, a), _uf_find(parent, b)
+    if ra != rb:
+        parent[rb] = ra
+
+
+def build_partition(
+    network: DataPlaneNetwork,
+    shards: int = 0,
+    class_weights: Optional[Dict[str, float]] = None,
+    sticky: Optional[Dict[str, int]] = None,
+) -> FlowPartition:
+    """Partition every registered class's hash domain into shards.
+
+    The partitioning rule, in order:
+
+    1. cut each class's [0, 1) hash domain at the union of hash-range
+       boundaries installed along its path — within one interval all
+       flows take the same walk;
+    2. probe each interval's midpoint through the planner to learn the
+       interval's VNF instance set (for scalar-fallback probes the set is
+       over-approximated to every instance hosted along the path, which
+       costs parallelism but never correctness);
+    3. union-find intervals sharing any instance into connected
+       components — the shared-nothing units;
+    4. deal components onto ``shards`` shards, heaviest first (weight =
+       interval width × class rate), least-loaded shard wins, with
+       deterministic tie-breaks; ``sticky`` assignments (from a previous
+       partition of the same network) pin a component to the shard that
+       already holds its instances' window state.
+
+    ``shards == 0`` (or fewer components than shards) clamps to the
+    component count, so requesting more shards than the traffic supports
+    degrades gracefully instead of creating idle workers.
+    """
+    started = perf_counter()
+    network._ensure_current_plans()
+    class_ids = list(network.class_paths)
+    weights = class_weights or {}
+    sticky = sticky or {}
+
+    parent: dict = {}  # union-find over ("u", unit_idx) and ("i", instance_id)
+    units: List[tuple] = []  # (class_id, lo, hi, weight, frozenset(instance_ids))
+    has_hooks = False
+    for class_id in class_ids:
+        path = network.class_paths[class_id]
+        bounds: set = set()
+        for sw_name in path:
+            bounds.update(network.switches[sw_name].table.hash_boundaries(class_id))
+        cuts = sorted(bounds)
+        edges = [0.0] + cuts + [1.0]
+        rate = float(weights.get(class_id, 1.0))
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            if hi <= lo:
+                continue
+            mid = lo + (hi - lo) / 2
+            if not (lo <= mid < hi):
+                mid = lo  # degenerate float interval: probe its left edge
+            plan = network._resolve_plan(class_id, mid)
+            if plan.fallback:
+                # The probe cannot vouch for the interval (header-modifying
+                # VNF upstream, boundary bucket, downstream hook): assume
+                # it may touch any instance hosted along the path.
+                inst_ids = set()
+                for sw_name in path:
+                    vsw = network.vswitches.get(sw_name)
+                    if vsw is not None:
+                        for inst in vsw.instances():
+                            inst_ids.add(inst.instance_id)
+                            if inst.downstream is not None:
+                                has_hooks = True
+            else:
+                inst_ids = set()
+                for _hi, _sw, _vsw, slots in plan.vsteps:
+                    for slot in slots:
+                        inst = slot[0]
+                        inst_ids.add(inst.instance_id)
+                        if inst.downstream is not None:
+                            has_hooks = True
+            ui = ("u", len(units))
+            units.append((class_id, lo, hi, rate * (hi - lo), inst_ids))
+            parent[ui] = ui
+            for iid in inst_ids:
+                ik = ("i", iid)
+                if ik not in parent:
+                    parent[ik] = ik
+                _uf_union(parent, ui, ik)
+
+    # Connected components, in first-unit order (deterministic).
+    comp_of_unit: List[int] = []
+    comp_index: Dict[tuple, int] = {}
+    comp_weight: List[float] = []
+    comp_instances: List[set] = []
+    for ui in range(len(units)):
+        root = _uf_find(parent, ("u", ui))
+        ci = comp_index.get(root)
+        if ci is None:
+            ci = comp_index[root] = len(comp_weight)
+            comp_weight.append(0.0)
+            comp_instances.append(set())
+        comp_of_unit.append(ci)
+        comp_weight[ci] += units[ui][3]
+        comp_instances[ci] |= units[ui][4]
+
+    n_components = max(1, len(comp_weight))
+    nshards = auto_shards(n_components, shards if shards else "auto")
+    if has_hooks:
+        # Downstream hooks observe per-packet order across the whole
+        # network; only a single shard preserves it.
+        nshards = 1
+
+    # Heaviest component first; least-loaded shard wins; ties go to the
+    # lowest shard index (fully deterministic).
+    comp_shard = [0] * len(comp_weight)
+    order = sorted(
+        range(len(comp_weight)), key=lambda c: (-comp_weight[c], c)
+    )
+    loads = [0.0] * nshards
+    deferred: List[int] = []
+    for ci in order:
+        pinned = {
+            sticky[iid]
+            for iid in comp_instances[ci]
+            if iid in sticky and sticky[iid] < nshards
+        }
+        if pinned:
+            # Components only ever split under faults, so members almost
+            # always agree; a merge conflict picks the lowest shard.
+            s = min(pinned)
+            comp_shard[ci] = s
+            loads[s] += comp_weight[ci]
+        else:
+            deferred.append(ci)
+    heap = [(loads[s], s) for s in range(nshards)]
+    heap.sort()
+    for ci in deferred:
+        load, s = heappop(heap)
+        comp_shard[ci] = s
+        heappush(heap, (load + comp_weight[ci], s))
+
+    instance_shards: Dict[str, int] = {}
+    for ci, insts in enumerate(comp_instances):
+        for iid in insts:
+            instance_shards[iid] = comp_shard[ci]
+
+    class_bounds: Dict[str, np.ndarray] = {}
+    class_shards: Dict[str, np.ndarray] = {}
+    ui = 0
+    for class_id in class_ids:
+        cuts: List[float] = []
+        shard_list: List[int] = []
+        while ui < len(units) and units[ui][0] == class_id:
+            _cid, lo, hi, _w, _insts = units[ui]
+            if shard_list:
+                cuts.append(lo)
+            shard_list.append(comp_shard[comp_of_unit[ui]])
+            ui += 1
+        if not shard_list:
+            shard_list = [0]
+        class_bounds[class_id] = np.asarray(cuts, dtype=np.float64)
+        class_shards[class_id] = np.asarray(shard_list, dtype=np.int64)
+
+    part = FlowPartition(
+        snapshot=network._plans_snapshot,
+        nshards=nshards,
+        n_components=n_components,
+        class_bounds=class_bounds,
+        class_shards=class_shards,
+        instance_shards=instance_shards,
+        has_hooks=has_hooks,
+    )
+    REGISTRY.record("dataplane.shard.partition", perf_counter() - started)
+    return part
+
+
+# ----------------------------------------------------------------------
+# Columnar walker
+# ----------------------------------------------------------------------
+class _ColumnWalker:
+    """Columnar execution of one shard's packet column on one network.
+
+    Stateless apart from the per-instance penalty box (which only affects
+    *how* a slice is processed, never its outcome).
+    """
+
+    def __init__(self, network: DataPlaneNetwork) -> None:
+        self.net = network
+        self._penalty: Dict[int, int] = {}  # id(instance) → remaining leaves
+        self._edges: Dict[str, tuple] = {}  # class → (edge list, cuts array)
+        self._edges_snapshot: Optional[tuple] = None
+        self.bulk_packets = 0
+        self.seq_packets = 0
+
+    def _class_edges(self, class_id: str) -> tuple:
+        """Interval edges of one class's hash domain: ``[0, cuts…, 1]``.
+
+        Cut points are the union of TCAM hash-range boundaries installed
+        along the class path — the same rule :func:`build_partition` uses,
+        so within one interval every flow matches the same entry sequence
+        at every hop.
+        """
+        cached = self._edges.get(class_id)
+        if cached is None:
+            net = self.net
+            bounds: set = set()
+            for sw_name in net.class_paths[class_id]:
+                bounds.update(
+                    net.switches[sw_name].table.hash_boundaries(class_id)
+                )
+            cuts = sorted(bounds)
+            cached = self._edges[class_id] = (
+                [0.0] + cuts + [1.0],
+                np.asarray(cuts, dtype=np.float64),
+            )
+        return cached
+
+    def run(
+        self,
+        classes: Sequence[str],
+        cls_idx: np.ndarray,
+        hashes: np.ndarray,
+        ts: np.ndarray,
+        size_bytes: int,
+        collect: bool,
+    ) -> Optional[list]:
+        """Walk one time-ordered column; exact ``inject_stream`` semantics."""
+        net = self.net
+        n = len(ts)
+        if n == 0:
+            return [] if collect else None
+        net._ensure_current_plans()
+
+        # Columnar TCAM walk: one plan resolution per (class, hash
+        # interval) group.  Between adjacent TCAM hash-range boundaries
+        # every flow matches the same entry sequence, so a whole interval
+        # shares the plan resolved at its midpoint — grouping by exact
+        # hash position, not bucket, keeps the group count at classes ×
+        # intervals instead of one group per distinct flow hash.
+        if self._edges_snapshot != net._plans_snapshot:
+            self._edges.clear()
+            self._edges_snapshot = net._plans_snapshot
+        group_pos: List[np.ndarray] = []
+        plans: List[_WalkPlan] = []
+        fallback_parts = []
+        order = np.argsort(cls_idx, kind="stable")
+        sorted_cls = cls_idx[order]
+        present = np.unique(sorted_cls)
+        cstarts = np.searchsorted(sorted_cls, present)
+        cends = np.searchsorted(sorted_cls, present, side="right")
+        for ci, cs, ce in zip(present.tolist(), cstarts.tolist(),
+                              cends.tolist()):
+            class_id = classes[int(ci)]
+            cpos = order[cs:ce]  # ascending: stable sort keeps time order
+            edges, cuts = self._class_edges(class_id)
+            if len(cuts):
+                ivals = np.searchsorted(cuts, hashes[cpos], side="right")
+            else:
+                ivals = np.zeros(len(cpos), dtype=np.int64)
+            for g in np.unique(ivals):
+                pos = cpos[ivals == g]
+                lo, hi = edges[g], edges[g + 1]
+                mid = lo + (hi - lo) / 2
+                if not (lo <= mid < hi):
+                    mid = lo  # degenerate float interval: probe its edge
+                plan = net.walk_plan(class_id, mid)
+                plans.append(plan)
+                group_pos.append(pos)
+                if plan.fallback:
+                    fallback_parts.append(pos)
+
+        # Per-instance merged arrival columns (positions repeated per
+        # occurrence in a plan, kept in global time order).
+        inst_entries: Dict[int, list] = {}  # id → [slot, [(group, occ)...]]
+        for g, plan in enumerate(plans):
+            if plan.fallback:
+                continue
+            occ: Dict[int, list] = {}
+            for step in plan.vsteps:
+                for slot in step[3]:
+                    rec = occ.setdefault(id(slot[0]), [slot, 0])
+                    rec[1] += 1
+            for iid, (slot, k) in occ.items():
+                entry = inst_entries.setdefault(iid, [slot, []])
+                entry[1].append((g, k))
+        inst_cols: List[list] = []  # [slot, positions ndarray]
+        for iid, (slot, parts) in inst_entries.items():
+            pos_parts = [
+                group_pos[g] if k == 1 else np.repeat(group_pos[g], k)
+                for g, k in parts
+            ]
+            pos = (
+                pos_parts[0]
+                if len(pos_parts) == 1
+                else np.sort(np.concatenate(pos_parts), kind="stable")
+            )
+            inst_cols.append([iid, slot, pos])
+
+        outcomes: Optional[list] = [None] * n if collect else None
+
+        # One full-column no-drop check.  The common case — nothing can
+        # drop, no fallback groups — bulk-applies the whole column in one
+        # pass with no recursion at all.
+        culprits = self._check_bulk(0, n, ts, inst_cols)
+        if not culprits and not fallback_parts:
+            self._bulk_apply(
+                0, n, ts, plans, group_pos, inst_cols, size_bytes, outcomes
+            )
+            return outcomes
+
+        # A fallback plan's packets run through the exact scalar walker,
+        # which may touch state (header-modified re-steers, downstream
+        # hooks) that no static instance column names — so a clean/dirty
+        # split cannot be proven safe.  Hand the whole column to the
+        # slice recursion, which serialises around fallback positions.
+        if fallback_parts:
+            fallback_pos = np.sort(np.concatenate(fallback_parts))
+            self._process(
+                0, n, ts, hashes, cls_idx, classes, plans, group_pos,
+                fallback_pos, inst_cols, size_bytes, outcomes,
+            )
+            return outcomes
+
+        # Contamination is local, not transitive.  A culprit (check-
+        # failing or stopped) instance invalidates exactly the groups
+        # whose plans VISIT it: a drop there changes what reaches every
+        # later hop of the same plan, so those packets must be walked by
+        # the exact scalar path.  A clean group has no drop-capable hop
+        # at all — every one of its packets survives end to end — so
+        # bulk application stays exact for it, even when it shares a
+        # pass-through instance with a dirty group: a pass-through
+        # instance admits unconditionally (its check held for the full
+        # arrival superset, and admission is monotone under removing
+        # arrivals), so walk order cannot change any decision.  The one
+        # piece of shared state that does see both sides is such an
+        # instance's sliding window, rebuilt below by an explicit merge
+        # of the sequential survivors and the clean-side arrivals.
+        dirty_iids = set(culprits)
+        dirty_groups: set = set()
+        for g, plan in enumerate(plans):
+            for step in plan.vsteps:
+                if any(id(slot[0]) in dirty_iids for slot in step[3]):
+                    dirty_groups.add(g)
+                    break
+
+        # Dirty side first: the scalar walk decides the survivors whose
+        # timestamps the mixed-window merge below consumes.
+        dlist = sorted(dirty_groups)
+        dpos = np.sort(np.concatenate([group_pos[g] for g in dlist]))
+        m = len(dpos)
+        sub_out: Optional[list] = [None] * m if collect else None
+        self._sequential(
+            0, m, ts[dpos], hashes[dpos], cls_idx[dpos], classes,
+            size_bytes, sub_out, (),
+        )
+        if collect:
+            for i, p in enumerate(dpos.tolist()):
+                outcomes[p] = sub_out[i]
+
+        clean_plans = []
+        clean_group_pos = []
+        for g, plan in enumerate(plans):
+            if g not in dirty_groups:
+                clean_plans.append(plan)
+                clean_group_pos.append(group_pos[g])
+        if not clean_plans:
+            return outcomes
+        clean_cols: List[list] = []
+        mixed: List[tuple] = []
+        for iid, (slot, parts) in inst_entries.items():
+            if iid in dirty_iids:
+                continue
+            cparts = [(g, k) for g, k in parts if g not in dirty_groups]
+            if not cparts:
+                continue
+            pos_parts = [
+                group_pos[g] if k == 1 else np.repeat(group_pos[g], k)
+                for g, k in cparts
+            ]
+            pos = (
+                pos_parts[0]
+                if len(pos_parts) == 1
+                else np.sort(np.concatenate(pos_parts), kind="stable")
+            )
+            if len(cparts) != len(parts):
+                mixed.append((slot, pos))
+            else:
+                clean_cols.append([iid, slot, pos])
+        self._bulk_apply(
+            0, n, ts, clean_plans, clean_group_pos, clean_cols,
+            size_bytes, outcomes,
+        )
+        for slot, pos in mixed:
+            inst, recent, budget, window = slot
+            st = inst.stats
+            cnt = len(pos)
+            st.packets_in += cnt
+            st.packets_processed += cnt
+            st.bytes_processed += size_bytes * cnt
+            # ``recent`` now holds the dirty-side survivors (lazily
+            # trimmed to the last dirty arrival's window, which the last
+            # overall arrival's window can only shrink further), so the
+            # exact final window is the merge of both sides cut at the
+            # latest arrival.
+            merged = np.sort(np.concatenate(
+                [np.asarray(recent, dtype=np.float64), ts[pos]]
+            ))
+            cutoff = float(merged[-1]) - window
+            keep = int(np.searchsorted(merged, cutoff, side="right"))
+            recent[:] = merged[keep:].tolist()
+        return outcomes
+
+    # -- slice recursion ----------------------------------------------
+    def _process(
+        self, lo, hi, ts, hashes, cls_idx, classes, plans, group_pos,
+        fallback_pos, inst_cols, size, outcomes,
+    ) -> None:
+        n = hi - lo
+        if n <= 0:
+            return
+        penalty = self._penalty
+        has_fallback = bool(len(fallback_pos)) and (
+            np.searchsorted(fallback_pos, hi)
+            > np.searchsorted(fallback_pos, lo)
+        )
+        penalised = []
+        if penalty:
+            for iid, slot, pos in inst_cols:
+                if penalty.get(iid, 0) > 0:
+                    a = np.searchsorted(pos, lo)
+                    b = np.searchsorted(pos, hi)
+                    if b > a:
+                        penalised.append(iid)
+        if has_fallback or penalised:
+            # Bulk application is impossible (fallback) or very unlikely
+            # (an instance recently failed its check): skip the vector
+            # checks and either run the slice exactly or keep splitting
+            # to salvage bulk work in the clean half.
+            if n <= SEQ_BYPASS:
+                self._sequential(
+                    lo, hi, ts, hashes, cls_idx, classes, size, outcomes,
+                    penalised,
+                )
+                return
+            mid = lo + n // 2
+            self._process(
+                lo, mid, ts, hashes, cls_idx, classes, plans, group_pos,
+                fallback_pos, inst_cols, size, outcomes,
+            )
+            self._process(
+                mid, hi, ts, hashes, cls_idx, classes, plans, group_pos,
+                fallback_pos, inst_cols, size, outcomes,
+            )
+            return
+        culprits = self._check_bulk(lo, hi, ts, inst_cols)
+        if not culprits:
+            self._bulk_apply(
+                lo, hi, ts, plans, group_pos, inst_cols, size, outcomes
+            )
+            return
+        for iid in culprits:
+            penalty[iid] = PENALTY
+        if n <= MIN_LEAF:
+            self._sequential(
+                lo, hi, ts, hashes, cls_idx, classes, size, outcomes, culprits
+            )
+            return
+        mid = lo + n // 2
+        self._process(
+            lo, mid, ts, hashes, cls_idx, classes, plans, group_pos,
+            fallback_pos, inst_cols, size, outcomes,
+        )
+        self._process(
+            mid, hi, ts, hashes, cls_idx, classes, plans, group_pos,
+            fallback_pos, inst_cols, size, outcomes,
+        )
+
+    def _check_bulk(self, lo, hi, ts, inst_cols) -> List[int]:
+        """Vectorised no-drop check; returns instances that could drop.
+
+        For an instance with pre-slice window ``recent`` (sorted), budget
+        ``B`` and window ``w``, a slice arrival at time ``t_j`` (j-th of
+        the instance's in-slice arrivals) is admitted by the scalar
+        walker iff, with every earlier slice arrival admitted,
+
+            live_old(t_j) + j_within_window + 1 <= B
+
+        where ``live_old`` counts surviving pre-slice entries
+        (``> t_j - w``) and ``j_within_window`` counts in-slice arrivals
+        in ``(t_j - w, t_j)`` before j.  If that holds for all j the
+        whole slice admits (so bulk application is exact); any violation
+        — or a stopped instance — marks the instance as a culprit.
+        """
+        culprits: List[int] = []
+        for iid, slot, pos in inst_cols:
+            a = np.searchsorted(pos, lo)
+            b = np.searchsorted(pos, hi)
+            if b <= a:
+                continue
+            inst, recent, budget, window = slot
+            if not inst.running:
+                culprits.append(iid)
+                continue
+            sub = ts[pos[a:b]]
+            cut = sub - window
+            old = np.asarray(recent, dtype=np.float64)
+            old_live = len(old) - np.searchsorted(old, cut, side="right")
+            within = np.arange(b - a) - np.searchsorted(sub, cut, side="right")
+            if np.any(old_live + within + 1 > budget):
+                culprits.append(iid)
+        return culprits
+
+    def _bulk_apply(
+        self, lo, hi, ts, plans, group_pos, inst_cols, size, outcomes
+    ) -> None:
+        net = self.net
+        dirty = net._dirty_plans
+        applied = 0
+        for g, pos in enumerate(group_pos):
+            a = np.searchsorted(pos, lo)
+            b = np.searchsorted(pos, hi)
+            cnt = b - a
+            if not cnt:
+                continue
+            plan = plans[g]
+            if plan.n == 0:
+                dirty.append(plan)
+            plan.n += int(cnt)
+            applied += int(cnt)
+            if outcomes is not None:
+                final = plan.final_outcome
+                for p in pos[a:b].tolist():
+                    outcomes[p] = final
+        self.bulk_packets += applied
+        for iid, slot, pos in inst_cols:
+            a = np.searchsorted(pos, lo)
+            b = np.searchsorted(pos, hi)
+            m = b - a
+            if not m:
+                continue
+            inst, recent, budget, window = slot
+            sub = ts[pos[a:b]]
+            st = inst.stats
+            st.packets_in += int(m)
+            st.packets_processed += int(m)
+            st.bytes_processed += size * int(m)
+            # The scalar walker trims lazily per packet; after the last
+            # admission the window holds exactly the admitted timestamps
+            # in (last_t - w, last_t], which is what we rebuild here.
+            cutoff = float(sub[-1]) - window
+            keep_from = bisect_right(recent, cutoff)
+            fresh_from = int(np.searchsorted(sub, cutoff, side="right"))
+            recent[:] = recent[keep_from:] + sub[fresh_from:].tolist()
+
+    def _sequential(
+        self, lo, hi, ts, hashes, cls_idx, classes, size, outcomes, involved
+    ) -> None:
+        """Run one slice through the exact per-packet walker."""
+        items = [
+            (
+                classes[int(cls_idx[p])],
+                float(hashes[p]),
+                float(ts[p]),
+            )
+            for p in range(lo, hi)
+        ]
+        out = self.net.inject_stream(
+            items, size_bytes=size, collect=outcomes is not None
+        )
+        self.seq_packets += len(items)
+        if outcomes is not None:
+            outcomes[lo:hi] = out
+        penalty = self._penalty
+        for iid in involved:
+            left = penalty.get(iid, 0)
+            if left > 1:
+                penalty[iid] = left - 1
+            else:
+                penalty.pop(iid, None)
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+def _reset_network(network: DataPlaneNetwork) -> None:
+    """Broadcastable runtime reset (see ShardedDataPlane.apply)."""
+    network.reset_runtime_state()
+
+
+def _worker_main(network: DataPlaneNetwork, conn) -> None:
+    """Shard worker loop: runs forked, owning a replica of ``network``."""
+    from multiprocessing import shared_memory
+
+    walker = _ColumnWalker(network)
+    base = CounterDelta.capture(network)
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "column":
+            _kind, shm_name, total, lo, hi, classes, size, collect = msg
+            shm = shared_memory.SharedMemory(name=shm_name)
+            try:
+                ts_all = np.ndarray(total, dtype=np.float64, buffer=shm.buf)
+                h_all = np.ndarray(
+                    total, dtype=np.float64, buffer=shm.buf, offset=8 * total
+                )
+                c_all = np.ndarray(
+                    total, dtype=np.int64, buffer=shm.buf, offset=16 * total
+                )
+                ts = np.array(ts_all[lo:hi])
+                hashes = np.array(h_all[lo:hi])
+                cls_idx = np.array(c_all[lo:hi])
+            finally:
+                shm.close()
+                # Python 3.11 registers attached (not just created) segments
+                # with the resource tracker; the parent owns the unlink, so
+                # drop the worker-side registration to avoid bogus leak
+                # warnings at worker exit.
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+            out = walker.run(classes, cls_idx, hashes, ts, size, collect)
+            network.flush_counters()
+            cur = CounterDelta.capture(network)
+            delta = cur.subtract(base)
+            base = cur
+            conn.send(
+                (out, delta, walker.bulk_packets, walker.seq_packets)
+            )
+            walker.bulk_packets = walker.seq_packets = 0
+        elif kind == "apply":
+            fn, args, kwargs = msg[1], msg[2], msg[3]
+            fn(network, *args, **kwargs)
+            walker = _ColumnWalker(network)  # penalties may be stale
+            base = CounterDelta.capture(network)
+            conn.send("ok")
+        elif kind == "stop":
+            conn.send("bye")
+            return
+
+
+class ShardedDataPlane:
+    """Shard-parallel façade over one deployed :class:`DataPlaneNetwork`.
+
+    Args:
+        network: the deployed network (rules installed, instances up).
+        shards: requested shard count, or 0/"auto" to derive it from the
+            core count and the partition's component count.
+        processes: ``"auto"`` forks one worker per shard when the host
+            has multiple cores (and forking is possible); ``True`` forces
+            workers, ``False`` keeps everything in-process.  In-process
+            execution runs the shard columns sequentially on the parent
+            network — identical results, no parallel speedup.
+        class_weights: optional class → rate map used to balance shard
+            loads (defaults to uniform).
+
+    The façade preserves the repo's bit-identity discipline: for the same
+    item stream, outcomes and every counter equal the scalar and batched
+    walkers', regardless of shard count or execution mode.  Faults follow
+    the normal invalidation protocol — any rule/overlay mutation retires
+    the partition on the next inject; with worker processes, mutations
+    must go through :meth:`apply` so every replica sees them.
+    """
+
+    def __init__(
+        self,
+        network: DataPlaneNetwork,
+        shards=0,
+        processes="auto",
+        class_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if isinstance(shards, str):
+            shards = 0 if shards == "auto" else int(shards)
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
+        self.network = network
+        self.requested_shards = int(shards)
+        self.processes = processes
+        self.class_weights = class_weights
+        self._partition: Optional[FlowPartition] = None
+        self._walker = _ColumnWalker(network)
+        self._workers: List = []  # (process, parent_conn) pairs
+        self._worker_shards = 0
+
+    # -- partition lifecycle ------------------------------------------
+    def _ensure_partition(
+        self, classes: Optional[Sequence[str]] = None
+    ) -> FlowPartition:
+        self.network._ensure_current_plans()
+        part = self._partition
+        if part is not None and part.snapshot == self.network._plans_snapshot:
+            # Registering a class does not bump the generation snapshot,
+            # so a partition predating the class must be rebuilt by hand.
+            if classes is None or all(
+                c in part._class_shards for c in classes
+            ):
+                return part
+        sticky = part.instance_shards if part is not None else None
+        part = build_partition(
+            self.network,
+            shards=self.requested_shards,
+            class_weights=self.class_weights,
+            sticky=sticky,
+        )
+        self._partition = part
+        self._walker = _ColumnWalker(self.network)  # plans were retired
+        if _obs.REGISTRY.enabled:
+            _obs.metric("dataplane_shard_components").set(part.n_components)
+        return part
+
+    @property
+    def nshards(self) -> int:
+        return self._ensure_partition().nshards
+
+    def _use_processes(self, part: FlowPartition) -> bool:
+        if part.nshards <= 1 or self.processes is False:
+            return False
+        if in_worker() or not fork_available():
+            return False
+        if self.processes == "auto" and cpu_count() < 2:
+            return False
+        return True
+
+    # -- injection -----------------------------------------------------
+    def inject_stream(
+        self,
+        items: Sequence[tuple],
+        size_bytes: int = 1500,
+        collect: bool = False,
+    ) -> Optional[List[Tuple[bool, Optional[str]]]]:
+        """Drop-in sharded counterpart of ``DataPlaneNetwork.inject_stream``."""
+        classes: List[str] = []
+        index: Dict[str, int] = {}
+        n = len(items)
+        cls_idx = np.empty(n, dtype=np.int64)
+        hashes = np.empty(n, dtype=np.float64)
+        ts = np.empty(n, dtype=np.float64)
+        for i, (cid, h, t) in enumerate(items):
+            ci = index.get(cid)
+            if ci is None:
+                ci = index[cid] = len(classes)
+                classes.append(cid)
+            cls_idx[i] = ci
+            hashes[i] = h
+            ts[i] = t
+        return self.inject_columns(
+            classes, cls_idx, hashes, ts, size_bytes=size_bytes, collect=collect
+        )
+
+    def inject_columns(
+        self,
+        classes: Sequence[str],
+        cls_idx: np.ndarray,
+        hashes: np.ndarray,
+        ts: np.ndarray,
+        size_bytes: int = 1500,
+        collect: bool = False,
+    ) -> Optional[List[Tuple[bool, Optional[str]]]]:
+        """Walk a time-ordered column of packets, sharded.
+
+        ``classes`` lists the distinct class ids; ``cls_idx`` indexes into
+        it per packet; ``hashes``/``ts`` are float64 columns.  Timestamps
+        must be non-decreasing (as in every walker).  Returns per-packet
+        ``(delivered, dropped_at)`` outcomes when ``collect``.
+        """
+        started = perf_counter()
+        classes = list(classes)
+        part = self._ensure_partition(classes)
+        n = len(ts)
+        if n == 0:
+            return [] if collect else None
+        if part.nshards == 1:
+            out = self._walker.run(
+                classes, cls_idx, hashes, ts, size_bytes, collect
+            )
+            self._finish_span(started, part, n)
+            return out
+        shard_ids = np.empty(n, dtype=np.int64)
+        for ci, cid in enumerate(classes):
+            mask = cls_idx == ci
+            if mask.any():
+                shard_ids[mask] = part.shard_ids_for(cid, hashes[mask])
+        if self._use_processes(part):
+            out = self._run_processes(
+                part, classes, cls_idx, hashes, ts, shard_ids,
+                size_bytes, collect,
+            )
+        else:
+            out = [None] * n if collect else None
+            for s in range(part.nshards):
+                sel = np.flatnonzero(shard_ids == s)
+                if not len(sel):
+                    continue
+                res = self._walker.run(
+                    classes, cls_idx[sel], hashes[sel], ts[sel],
+                    size_bytes, collect,
+                )
+                if collect:
+                    for i, p in enumerate(sel.tolist()):
+                        out[p] = res[i]
+        self._finish_span(started, part, n)
+        return out
+
+    def _finish_span(self, started: float, part: FlowPartition, n: int) -> None:
+        REGISTRY.record("dataplane.walk.sharded", perf_counter() - started)
+        if _obs.REGISTRY.enabled:
+            _obs.metric("dataplane_shard_count").set(part.nshards)
+            w = self._walker
+            if w.bulk_packets:
+                _obs.metric("dataplane_shard_bulk_packets_total").inc(
+                    w.bulk_packets
+                )
+            if w.seq_packets:
+                _obs.metric("dataplane_shard_sequential_packets_total").inc(
+                    w.seq_packets
+                )
+            w.bulk_packets = w.seq_packets = 0
+
+    # -- process mode --------------------------------------------------
+    def _ensure_workers(self, nshards: int) -> None:
+        if self._workers and self._worker_shards == nshards:
+            return
+        self.close()
+        ctx = mp_context()
+        for _s in range(nshards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(self.network, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+        self._worker_shards = nshards
+
+    def _run_processes(
+        self, part, classes, cls_idx, hashes, ts, shard_ids, size, collect
+    ):
+        from multiprocessing import shared_memory
+
+        self._ensure_workers(part.nshards)
+        n = len(ts)
+        perm = np.argsort(shard_ids, kind="stable")
+        counts = np.bincount(shard_ids, minlength=part.nshards)
+        offsets = np.zeros(part.nshards + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        shm = shared_memory.SharedMemory(create=True, size=max(1, 24 * n))
+        try:
+            ts_v = np.ndarray(n, dtype=np.float64, buffer=shm.buf)
+            h_v = np.ndarray(n, dtype=np.float64, buffer=shm.buf, offset=8 * n)
+            c_v = np.ndarray(n, dtype=np.int64, buffer=shm.buf, offset=16 * n)
+            ts_v[:] = ts[perm]
+            h_v[:] = hashes[perm]
+            c_v[:] = cls_idx[perm]
+            busy = []
+            for s, (proc, conn) in enumerate(self._workers):
+                lo, hi = int(offsets[s]), int(offsets[s + 1])
+                if hi <= lo:
+                    continue
+                conn.send(
+                    ("column", shm.name, n, lo, hi, classes, size, collect)
+                )
+                busy.append((s, conn, lo, hi))
+            out = [None] * n if collect else None
+            merge_started = perf_counter()
+            bulk = seq = 0
+            for s, conn, lo, hi in busy:
+                res, delta, b, q = conn.recv()
+                delta.apply_to(self.network)
+                bulk += b
+                seq += q
+                if collect and res is not None:
+                    for i, p in enumerate(perm[lo:hi].tolist()):
+                        out[p] = res[i]
+            REGISTRY.record(
+                "dataplane.shard.merge", perf_counter() - merge_started
+            )
+            if _obs.REGISTRY.enabled:
+                _obs.metric("dataplane_shard_merge_seconds").observe(
+                    perf_counter() - merge_started
+                )
+            self._walker.bulk_packets += bulk
+            self._walker.seq_packets += seq
+        finally:
+            shm.close()
+            shm.unlink()
+        return out
+
+    def apply(self, fn, *args, **kwargs) -> None:
+        """Apply a mutation to the parent network *and* every worker replica.
+
+        ``fn`` must be a picklable module-level callable taking the
+        network as its first argument (e.g. a chaos fault).  Without
+        workers this is just ``fn(self.network, ...)``; with workers it is
+        the broadcast that keeps replicas converged — a mutation applied
+        to the parent alone would be invisible to forked shards.
+        """
+        pickle.dumps(fn)  # fail fast on closures before touching workers
+        fn(self.network, *args, **kwargs)
+        for _proc, conn in self._workers:
+            conn.send(("apply", fn, args, kwargs))
+        for _proc, conn in self._workers:
+            conn.recv()
+
+    def reset_runtime_state(self) -> None:
+        """Reset runtime counters everywhere (parent + worker replicas)."""
+        self.apply(_reset_network)
+
+    def flush_counters(self) -> None:
+        self.network.flush_counters()
+
+    def stats_snapshot(self):
+        return self.network.stats_snapshot()
+
+    def close(self) -> None:
+        """Stop worker processes (no-op without workers)."""
+        for proc, conn in self._workers:
+            try:
+                conn.send(("stop",))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._workers = []
+        self._worker_shards = 0
+
+    def __enter__(self) -> "ShardedDataPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

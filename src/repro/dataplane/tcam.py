@@ -259,6 +259,27 @@ class TcamTable:
         REGISTRY.record("dataplane.tcam.cold_scan", perf_counter() - started)
         return entry
 
+    def hash_boundaries(self, class_id: Optional[str]) -> List[float]:
+        """Sorted interior hash-range bounds of entries a class can match.
+
+        The sharded data plane's partitioner cuts the hash domain [0, 1)
+        at these points: within one resulting interval, every flow of the
+        class matches the same entry sequence in this table, so a single
+        probe resolves the whole interval's walk.  Includes wildcard
+        (``class_id is None``) entries, which the class can also match.
+        """
+        if self._index_generation != self._generation:
+            self._rebuild_index()
+        bounds = set()
+        for e in self._entries:
+            if e.class_id is not None and e.class_id != class_id:
+                continue
+            if e.hash_range is not None:
+                for b in e.hash_range:
+                    if 0.0 < b < 1.0:
+                        bounds.add(b)
+        return sorted(bounds)
+
     def bucket_is_cacheable(self, flow_hash: float) -> bool:
         """Whether the whole hash bucket of ``flow_hash`` matches uniformly.
 

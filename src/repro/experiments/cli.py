@@ -31,6 +31,7 @@ from repro.experiments.harness import (
     display_name,
     normalize_name,
 )
+from repro.parallel import resolve_jobs
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5.run,
@@ -69,6 +70,36 @@ _SEEDABLE = {"failure_recovery", "southbound_chaos"}
 #: event through the data-plane fast path).
 _BATCHABLE = {"packet_replay"}
 
+#: Experiments whose run() accepts a shard count (the sharded multi-core
+#: data plane; bit-identical results at any count).
+_SHARDABLE = {"packet_replay"}
+
+
+def _jobs_arg(value: str):
+    """argparse type for --jobs: positive int or 'auto'."""
+    try:
+        return resolve_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _shards_arg(value: str):
+    """argparse type for --shards: non-negative int or 'auto'."""
+    token = value.strip().lower()
+    if token == "auto":
+        return "auto"
+    try:
+        shards = int(token)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shards must be a non-negative integer or 'auto', got {value!r}"
+        ) from None
+    if shards < 0:
+        raise argparse.ArgumentTypeError(
+            f"shards must be a non-negative integer or 'auto', got {value!r}"
+        )
+    return shards
+
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -97,11 +128,13 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
         metavar="N",
         help="worker processes for experiments with independent rows "
-        f"({', '.join(sorted(_JOBSABLE))}); default 1 (serial)",
+        f"({', '.join(sorted(_JOBSABLE))}); default 1 (serial); 'auto' "
+        "measures the first row's cost and fans out only when a pool "
+        "pays for itself (never slower than serial)",
     )
     parser.add_argument(
         "--batch",
@@ -111,6 +144,16 @@ def main(argv: List[str] = None) -> int:
         help="packets per simulator event for experiments with a batched "
         f"data-plane path ({', '.join(sorted(_BATCHABLE))}); default 1 "
         "(event per packet); results are identical either way",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=0,
+        metavar="N",
+        help="shards for experiments with a sharded data-plane path "
+        f"({', '.join(sorted(_SHARDABLE))}); default 0 (off); 'auto' "
+        "derives the count from cores and flow components; results are "
+        "bit-identical at any count",
     )
     parser.add_argument(
         "--output",
@@ -154,7 +197,7 @@ def main(argv: List[str] = None) -> int:
         obs.enable(trace=args.trace is not None)
         if manifest_file is None:
             manifest_file = "run.json"
-        if args.jobs > 1:
+        if args.jobs != 1:
             print(
                 "warning: --jobs > 1 runs rows in worker processes; their "
                 "metrics stay in the workers and will be missing from the "
@@ -171,10 +214,12 @@ def main(argv: List[str] = None) -> int:
         kwargs = {}
         if args.quick and name in _QUICKABLE:
             kwargs["quick"] = True
-        if args.jobs > 1 and name in _JOBSABLE:
+        if args.jobs != 1 and name in _JOBSABLE:
             kwargs["jobs"] = args.jobs
         if args.batch > 1 and name in _BATCHABLE:
             kwargs["batch"] = args.batch
+        if args.shards and name in _SHARDABLE:
+            kwargs["shards"] = args.shards
         if name in _SEEDABLE:
             kwargs["seed"] = args.seed
         result = runner(**kwargs)
@@ -225,6 +270,7 @@ def main(argv: List[str] = None) -> int:
                 "quick": args.quick,
                 "jobs": args.jobs,
                 "batch": args.batch,
+                "shards": args.shards,
                 "experiments": [display_name(n) for n in names],
             },
             metrics=obs.REGISTRY.snapshot(),

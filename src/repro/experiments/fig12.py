@@ -8,7 +8,6 @@ instances ("the average additional cores ... is less than 17").
 
 from __future__ import annotations
 
-from functools import partial
 from typing import List, Sequence
 
 from repro.core.dynamic import FailoverConfig
@@ -19,6 +18,7 @@ from repro.experiments.harness import (
     parallel_map,
     standard_setup,
 )
+from repro.parallel import FnSpec, Jobs
 from repro.traffic.replay import replay_series
 
 TOPOLOGIES = ("internet2", "geant", "univ1")
@@ -60,18 +60,22 @@ def run(
     topologies: Sequence[str] = TOPOLOGIES,
     snapshots: int = 120,
     quick: bool = False,
-    jobs: int = 1,
+    jobs: Jobs = 1,
 ) -> ExperimentResult:
     """Loss statistics with and without fast failover per topology.
 
     Args:
         jobs: worker processes; each topology's replay is independent, so
             ``jobs > 1`` runs them concurrently (same rows, same order).
+            ``"auto"`` measures the first row's cost and fans out only
+            when a pool pays for itself — never slower than serial.
     """
     if quick:
         snapshots = 30
+    # Spec-only work unit: workers re-import the row function instead of
+    # unpickling a heavyweight closure per submission.
     rows: List[list] = parallel_map(
-        partial(_topology_row, snapshots=snapshots), topologies, jobs=jobs
+        FnSpec.of(_topology_row, snapshots=snapshots), topologies, jobs=jobs
     )
     return ExperimentResult(
         experiment="Fig. 12",

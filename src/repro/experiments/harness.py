@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.parallel import Jobs, parallel_map as _parallel_map
 
 from repro.core.controller import AppleController
 from repro.sim.rng import derive
@@ -129,23 +130,22 @@ def default_jobs() -> int:
 
 
 def parallel_map(
-    fn: Callable[[Any], Any], items: Iterable[Any], jobs: int = 1
+    fn: Callable[[Any], Any], items: Iterable[Any], jobs: Jobs = 1
 ) -> List[Any]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     Experiment rows (one per topology / failure count) are independent and
     each re-runs the full setup + replay pipeline, so process fan-out
-    scales near-linearly.  ``fn`` must be picklable (a module-level
-    function or :func:`functools.partial` of one).  With ``jobs <= 1`` or
-    fewer than two items the map runs serially in-process — same results,
-    no pool overhead — so callers can always route through here and let
-    the flag decide.  Result order matches input order either way.
+    scales near-linearly *when the work is big enough to amortise the
+    pool*.  This is a thin shim over :func:`repro.parallel.parallel_map`
+    (kept for callers importing it from the harness): ``jobs`` may be a
+    positive integer or ``"auto"``, which measures the first unit's cost
+    and only fans out when the pool can pay for itself.  ``fn`` must be
+    picklable for any fanned-out path — a module-level function,
+    :func:`functools.partial` of one, or a cheap-to-ship
+    :class:`repro.parallel.FnSpec`.  Result order matches input order.
     """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    return _parallel_map(fn, items, jobs=jobs)
 
 
 def standard_setup(

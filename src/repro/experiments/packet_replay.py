@@ -49,6 +49,7 @@ def run(
     overload_factor: float = 1.0,
     quick: bool = False,
     batch: int = 1,
+    shards=0,
 ) -> ExperimentResult:
     """Replay one snapshot at packet level and compare with the fluid model.
 
@@ -62,6 +63,12 @@ def run(
             network's batched walker.  Results are bit-identical — same
             per-packet timestamps, processing order, delivery counts —
             only wall-clock time changes.
+        shards: 0 disables sharding; otherwise the whole merged timeline
+            is precomputed (same floats as the mux) and walked through
+            the sharded data plane with this many shards (``"auto"``
+            derives the count from cores × flow components).  Rows are
+            bit-identical to the scalar and batched paths; ``batch`` is
+            ignored when sharding.
     """
     if quick:
         duration = 1.5
@@ -93,7 +100,45 @@ def run(
 
         return consume
 
-    if batch > 1:
+    if shards:
+        # Sharded replay: no simulator events at all.  The merged CBR
+        # timeline is built by the same float left-folds the mux performs
+        # (merge_cbr_timeline), flow hashes cycle per class exactly as the
+        # scalar consumers count them, and the phase RNG is drawn in the
+        # same order — so the packet sequence is identical and the sharded
+        # walker's bit-identity discipline does the rest.
+        import numpy as np
+
+        from repro.dataplane.flowhash import cycling_hashes
+        from repro.dataplane.sharded import ShardedDataPlane
+        from repro.sim.sources import merge_cbr_timeline
+
+        network = deployment.network
+        rng = sim.rng.child("packet-replay-phases")
+        streams = []
+        class_pps = {}
+        for cls in plan.classes:
+            pps = cls.rate_mbps * PPS_PER_MBPS * overload_factor
+            if pps <= 0.5:
+                continue
+            # Same stagger as the scalar path (and the same RNG draws).
+            streams.append(
+                (cls.class_id, rng.uniform(0.0, 1.0 / pps), 1.0 / pps)
+            )
+            class_pps[cls.class_id] = pps
+        keys, kidx, ts = merge_cbr_timeline(streams, duration)
+        hashes = np.empty(len(ts))
+        for ci in range(len(keys)):
+            mask = kidx == ci
+            m = int(mask.sum())
+            if m:
+                hashes[mask] = cycling_hashes(m)
+        counters["sent"] = len(ts)
+        with ShardedDataPlane(
+            network, shards=shards, class_weights=class_pps
+        ) as sharded:
+            sharded.inject_columns(keys, kidx, hashes, ts)
+    elif batch > 1:
         # Batched fast path: one mux merges every class's CBR stream in
         # global arrival order, and the network walks each batch through
         # cached per-bucket plans.  Flow hashes cycle exactly as in the

@@ -21,6 +21,54 @@ BatchConsumer = Callable[[List[float]], None]
 MuxConsumer = Callable[[List[Tuple[str, float]]], None]
 
 
+def merge_cbr_timeline(
+    streams: Sequence[Tuple[str, float, float]], horizon: float
+):
+    """Merge finite CBR streams into one globally time-ordered timeline.
+
+    ``streams`` is a sequence of ``(key, start, gap)`` triples in
+    registration order.  Per stream, ``numpy.cumsum`` over
+    ``[start, gap, gap, ...]`` accumulates strictly sequentially in
+    float64 — the same left fold the event-per-packet :class:`CBRSource`
+    performs through the simulator clock — so every timestamp is
+    bit-identical to the incremental version.  Cross-stream order comes
+    from a stable sort on the timestamps; exact float ties keep stream
+    registration order.
+
+    Returns ``(keys, key_idx, ts)``: the stream keys in registration
+    order, an int64 array indexing into ``keys`` per packet, and the
+    float64 timestamp array, both sorted in global arrival order.  Both
+    the :class:`BatchedCBRMux` (which re-zips them into event batches)
+    and the sharded replay path (which keeps the columns as-is for the
+    columnar walker) build their timelines here, which is what makes
+    their packet sequences bit-identical.
+    """
+    import numpy as np
+
+    keys: List[str] = []
+    ts_parts: List = []
+    idx_parts: List = []
+    for key, start, gap in streams:
+        ki = len(keys)
+        keys.append(key)
+        if start > horizon:
+            continue
+        count = int((horizon - start) / gap) + 2  # margin; trimmed below
+        arr = np.empty(count)
+        arr[0] = start
+        arr[1:] = gap
+        np.cumsum(arr, out=arr)
+        arr = arr[arr <= horizon]
+        ts_parts.append(arr)
+        idx_parts.append(np.full(len(arr), ki, dtype=np.int64))
+    if not ts_parts:
+        return keys, np.empty(0, dtype=np.int64), np.empty(0)
+    ts = np.concatenate(ts_parts)
+    kidx = np.concatenate(idx_parts)
+    order = np.argsort(ts, kind="stable")
+    return keys, kidx[order], ts[order]
+
+
 class _BaseSource:
     """Shared machinery: start/stop, emitted-packet accounting, rate changes."""
 
@@ -259,37 +307,16 @@ class BatchedCBRMux:
     def _build_timeline(self) -> List[Tuple[str, float]]:
         """Merge every stream's finite timestamp sequence up front.
 
-        Per stream, ``numpy.cumsum`` over ``[start, gap, gap, ...]``
-        accumulates strictly sequentially in float64 — the same left fold
-        the event-per-packet path performs through the simulator clock —
-        so each timestamp is bit-identical to the incremental version.
-        Cross-stream order comes from a stable sort on the timestamps;
-        exact float ties keep stream-registration order.
+        Delegates to :func:`merge_cbr_timeline` (shared with the sharded
+        replay path, keeping the two bit-identical) and re-zips the
+        columns into the ``(key, timestamp)`` batches the event loop
+        serves.
         """
-        import numpy as np
-
-        horizon = self.horizon
-        ts_parts: List = []
-        key_parts: List = []
-        for start, order, key, gap in self._heap:
-            if start > horizon:
-                continue
-            count = int((horizon - start) / gap) + 2  # margin; trimmed below
-            arr = np.empty(count)
-            arr[0] = start
-            arr[1:] = gap
-            np.cumsum(arr, out=arr)
-            arr = arr[arr <= horizon]
-            ts_parts.append(arr)
-            key_parts.extend([key] * len(arr))
-        if not ts_parts:
-            return []
-        ts = np.concatenate(ts_parts)
-        idx = np.argsort(ts, kind="stable")
-        ts_sorted = ts[idx].tolist()
-        keys = key_parts
-        keys_sorted = [keys[i] for i in idx.tolist()]
-        return list(zip(keys_sorted, ts_sorted))
+        keys, kidx, ts = merge_cbr_timeline(
+            [(key, start, gap) for start, _order, key, gap in self._heap],
+            self.horizon,
+        )
+        return [(keys[i], t) for i, t in zip(kidx.tolist(), ts.tolist())]
 
     def stop(self) -> None:
         self._active = False

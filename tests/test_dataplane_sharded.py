@@ -1,0 +1,305 @@
+"""Sharded-walk equivalence: the sharded data plane mirrors scalar inject.
+
+The shard layer is only an optimisation: per-packet outcomes, the delivery
+ledger, and every switch/vSwitch/instance counter must be bit-identical to
+driving the same packet sequence through the scalar walker — across shard
+counts, overload drops, mid-run chaos invalidation, and the process-pool
+execution mode.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.network import DataPlaneNetwork
+from repro.dataplane.packet import FIN, Packet
+from repro.dataplane.sharded import CounterDelta, ShardedDataPlane, build_partition
+from repro.dataplane.switch import SwitchRuleSet
+from repro.dataplane.vswitch import VSwitchRule
+from repro.experiments import packet_replay
+from repro.parallel import fork_available
+from repro.topology.graph import AppleHostSpec, Link, Topology
+from repro.vnf.instance import VNFInstance
+from repro.vnf.types import NFType
+
+
+# ----------------------------------------------------------------------
+# Network builder
+# ----------------------------------------------------------------------
+def _network(class_specs):
+    """s1 — s2(host) — s3 with one class per spec.
+
+    Each spec is ``(split, capacity_pps)``: ``split`` is ``None`` for a
+    single full-range instance, or a hash boundary in (0, 1) giving the
+    class two sub-class instances (so the partitioner sees real hash
+    intervals and boundary buckets).
+    """
+    topo = Topology(
+        "line",
+        ["s1", "s2", "s3"],
+        [Link("s1", "s2"), Link("s2", "s3")],
+        hosts={"s2": AppleHostSpec(cores=64)},
+    )
+    net = DataPlaneNetwork(topo)
+    vsw = net.vswitch_at("s2")
+    classifications = []
+    instances = []
+    for k, (split, capacity_pps) in enumerate(class_specs):
+        cid = f"c{k}"
+        net.register_class_path(cid, ("s1", "s2", "s3"))
+        nf = NFType(
+            "m", cores=1, capacity_mbps=1e9, clickos=True,
+            capacity_pps=capacity_pps,
+        )
+        ranges = (
+            [((0.0, 1.0), 0)]
+            if split is None
+            else [((0.0, split), 0), ((split, 1.0), 1)]
+        )
+        for rng, tag in ranges:
+            inst = VNFInstance(f"m{tag}-{cid}@s2", nf, "s2", window=0.1)
+            vsw.register_instance(inst)
+            vsw.install_rule(cid, tag, VSwitchRule((inst.instance_id,),
+                                                   exit_host_tag=FIN))
+            classifications.append((cid, rng, tag, "s2"))
+            instances.append(inst)
+    SwitchRuleSet(
+        switch="s1", host_match=False, classifications=classifications
+    ).apply(net.switches["s1"])
+    SwitchRuleSet(switch="s2", host_match=True).apply(net.switches["s2"])
+    SwitchRuleSet(switch="s3").apply(net.switches["s3"])
+    return net, instances
+
+
+def _items(n_classes, n=240, rate=100.0):
+    """Per-class CBR arrivals with cycling hashes, merged in time order."""
+    items = []
+    for k in range(n_classes):
+        items += [
+            (f"c{k}", (j * 0.137) % 1.0, j / rate) for j in range(1, n + 1)
+        ]
+    items.sort(key=lambda x: (x[2], x[0]))
+    return items
+
+
+def _apply_fault(net, fault):
+    """Apply one chaos event; resolves the target instance from ``net``
+    so it can be broadcast to process-mode replicas (see
+    ``ShardedDataPlane.apply``)."""
+    instances = list(net.vswitches["s2"]._instances.values())
+    kind, idx = fault
+    inst = instances[idx % len(instances)]
+    if kind == "invalidate":
+        net.invalidate_plans()
+    elif kind == "degrade":
+        inst.degrade(0.5)
+        net.invalidate_plans()
+    elif kind == "restore":
+        inst.restore_full()
+        net.invalidate_plans()
+    elif kind == "stop":
+        inst.shutdown()
+    elif kind == "restart":
+        inst.running = True
+
+
+def _state(net, instances, recent=True):
+    """Every observable counter; ``recent`` adds the instances' transient
+    sliding windows (worker-local in process mode, so excluded there)."""
+    net.flush_counters()
+    return {
+        "stats": net.delivery_stats(),
+        "seen": {s: sw.packets_seen for s, sw in net.switches.items()},
+        "lookups": {
+            s: (sw.table.lookup_count, sw.table.miss_count)
+            for s, sw in net.switches.items()
+        },
+        "vsw": (net.vswitches["s2"].packets_in,
+                net.vswitches["s2"].packets_dropped),
+        "inst": [
+            (i.stats.packets_in, i.stats.packets_processed,
+             i.stats.packets_dropped, i.stats.bytes_processed)
+            + ((tuple(i._recent),) if recent else ())
+            for i in instances
+        ],
+    }
+
+
+def _run_scalar(class_specs, chunks, faults):
+    net, instances = _network(class_specs)
+    outcomes = []
+    for ci, chunk in enumerate(chunks):
+        for fault in faults.get(ci, ()):
+            _apply_fault(net, fault)
+        for cid, h, t in chunk:
+            r = net.inject(
+                Packet(class_id=cid, flow_hash=h, src="s1", dst="s3"), now=t
+            )
+            outcomes.append((r.delivered, r.dropped_at))
+    return outcomes, _state(net, instances)
+
+
+def _run_sharded(class_specs, chunks, faults, shards, processes=False):
+    net, instances = _network(class_specs)
+    outcomes = []
+    with ShardedDataPlane(net, shards=shards, processes=processes) as sh:
+        for ci, chunk in enumerate(chunks):
+            for fault in faults.get(ci, ()):
+                if processes:
+                    sh.apply(_apply_fault, fault)
+                else:
+                    _apply_fault(net, fault)
+            outcomes.extend(sh.inject_stream(chunk, collect=True))
+        sh.flush_counters()
+    return outcomes, _state(net, instances)
+
+
+# ----------------------------------------------------------------------
+# Property test: randomized nets, shard counts, and fault schedules
+# ----------------------------------------------------------------------
+@st.composite
+def scenario(draw):
+    n_classes = draw(st.integers(1, 3))
+    specs = [
+        (
+            draw(st.sampled_from([None, 0.25, 0.5, 0.69])),
+            draw(st.sampled_from([25.0, 40.0, 1e9])),
+        )
+        for _ in range(n_classes)
+    ]
+    items = _items(n_classes, n=draw(st.integers(60, 240)))
+    n_chunks = draw(st.integers(1, 3))
+    step = max(1, len(items) // n_chunks)
+    chunks = [items[i : i + step] for i in range(0, len(items), step)]
+    faults = {}
+    for _ in range(draw(st.integers(0, 3))):
+        at = draw(st.integers(1, len(chunks)))
+        kind = draw(st.sampled_from(
+            ["invalidate", "degrade", "restore", "stop", "restart"]
+        ))
+        faults.setdefault(at, []).append((kind, draw(st.integers(0, 5))))
+    shards = draw(st.sampled_from([2, 3, 4, 8, "auto"]))
+    return specs, chunks, faults, shards
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario())
+def test_sharded_matches_scalar_with_chaos(scn):
+    specs, chunks, faults, shards = scn
+    expected_out, expected_state = _run_scalar(specs, chunks, faults)
+    got_out, got_state = _run_sharded(specs, chunks, faults, shards)
+    assert got_out == expected_out
+    assert got_state == expected_state
+
+
+# ----------------------------------------------------------------------
+# Deterministic corners
+# ----------------------------------------------------------------------
+def test_sharded_overload_drops_bit_identical():
+    specs = [(0.5, 40.0), (None, 40.0)]
+    chunks = [_items(2, n=300)]
+    expected_out, expected_state = _run_scalar(specs, chunks, {})
+    assert expected_state["stats"][1] > 0, "setup must actually drop packets"
+    for shards in (1, 2, 4):
+        got_out, got_state = _run_sharded(specs, chunks, {}, shards)
+        assert got_out == expected_out
+        assert got_state == expected_state
+
+
+def test_partition_is_shared_nothing_and_sticky():
+    net, instances = _network([(0.5, 40.0), (None, 40.0), (0.25, 1e9)])
+    part = build_partition(net, shards=2)
+    assert part.nshards == 2
+    assert part.n_components >= 3  # no class shares an instance
+    # Instances land wholly in one shard: shared-nothing by construction.
+    by_inst = dict(part.instance_shards)
+    assert len(by_inst) == len(instances)
+    # A rebuild with the previous assignment keeps instances where they were.
+    net.invalidate_plans()
+    part2 = build_partition(net, shards=2, sticky=by_inst)
+    assert dict(part2.instance_shards) == by_inst
+
+
+def test_counter_delta_merge_commutes_and_associates():
+    a = CounterDelta(
+        ledger=(5, 1, 0),
+        switches={"s1": (5, 5, 0, 2)},
+        vswitches={"s2": (4, 1)},
+        instances={("s2", "m0"): (4, 3, 1, 4500)},
+    )
+    b = CounterDelta(
+        ledger=(2, 0, 1),
+        switches={"s1": (2, 2, 1, 0), "s3": (2, 2, 0, 0)},
+        instances={("s2", "m0"): (1, 1, 0, 1500),
+                   ("s2", "m1"): (7, 7, 0, 10500)},
+    )
+    c = CounterDelta(ledger=(0, 3, 0), vswitches={"s2": (0, 3)})
+    x = a.merge(b).merge(c)
+    y = c.merge(b.merge(a))
+    z = b.merge(c).merge(a)
+    for other in (y, z):
+        assert x.ledger == other.ledger
+        assert x.switches == other.switches
+        assert x.vswitches == other.vswitches
+        assert x.instances == other.instances
+    # merge then apply equals applying each delta in any order
+    net, _ = _network([(None, 40.0)])
+    x.apply_to(net)
+    assert net.delivery_stats() == (7, 4, 1)
+
+
+def test_counter_delta_capture_subtract_roundtrip():
+    specs = [(None, 40.0)]
+    net, instances = _network(specs)
+    base = CounterDelta.capture(net)
+    for cid, h, t in _items(1, n=120):
+        net.inject(Packet(class_id=cid, flow_hash=h, src="s1", dst="s3"),
+                   now=t)
+    delta = CounterDelta.capture(net).subtract(base)
+    fresh, fresh_inst = _network(specs)
+    delta.apply_to(fresh)
+    assert fresh.delivery_stats() == net.delivery_stats()
+    assert fresh_inst[0].stats.packets_in == instances[0].stats.packets_in
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_sharded_process_mode_bit_identical():
+    specs = [(None, 40.0), (None, 40.0)]
+    items = _items(2, n=300)
+    ref_net, ref_instances = _network(specs)
+    expected_out = []
+    for cid, h, t in items:
+        r = ref_net.inject(
+            Packet(class_id=cid, flow_hash=h, src="s1", dst="s3"), now=t
+        )
+        expected_out.append((r.delivered, r.dropped_at))
+    expected_state = _state(ref_net, ref_instances, recent=False)
+
+    net, instances = _network(specs)
+    with ShardedDataPlane(net, shards=2, processes=True) as sh:
+        part = sh._ensure_partition()
+        assert sh._use_processes(part), "process mode must engage"
+        out = sh.inject_stream(items, collect=True)
+        assert out == expected_out
+        # Persistent workers: a second wave accumulates, a broadcast reset
+        # restores a replayable state everywhere.
+        sh.inject_stream([(c, h, t + 10.0) for c, h, t in items])
+        sh.reset_runtime_state()
+        out2 = sh.inject_stream(items, collect=True)
+        sh.flush_counters()
+    assert out2 == expected_out
+    assert _state(net, instances, recent=False) == expected_state
+
+
+def test_packet_replay_sharded_is_bit_identical():
+    scalar = packet_replay.run(quick=True)
+    for shards in (2, "auto"):
+        sharded = packet_replay.run(quick=True, shards=shards)
+        assert sharded.rows == scalar.rows
+
+
+def test_packet_replay_sharded_matches_scalar_under_overload():
+    scalar = packet_replay.run(quick=True, overload_factor=1.6)
+    sharded = packet_replay.run(quick=True, overload_factor=1.6, shards=4)
+    assert sharded.rows == scalar.rows
+    dropped = dict((r[0], r[1]) for r in scalar.rows)["dropped"]
+    assert dropped > 0
