@@ -1,0 +1,169 @@
+"""Hyperscale placement benchmarks: the decomposed solver at DC scale.
+
+Three acceptance targets of the decomposition work, recorded to the
+``BENCH_scale.json`` trajectory:
+
+* **Crossover** — on the largest common instance (fat-tree k=16,
+  320 switches, 48k classes at ~25% utilisation) the decomposed solve at
+  4 shards beats the monolithic wall clock cold.  The monolithic LP is
+  superlinear in model size (~n^1.4 at this scale), so k serial shards
+  of n/k variables are cheaper than one model of n — no process pool
+  required, which is exactly why this wins even on a single-core host.
+* **Flagship scale** — a ≥500-switch fat-tree (k=20) with ≥10⁴ classes
+  solves end to end, cold and warm, decomposed at 8 shards.
+* **Warm bit-identity** — on every swept seed, a warm decomposed
+  re-solve (per-shard templates, rate rewrite only) returns bit-identical
+  quantities and distributions to a cold solve of the same snapshot.
+
+Timings use min-of-N with a small warm-up solve first: the first solve
+in a fresh process pays page-fault and allocator costs that have nothing
+to do with either solver path.
+"""
+
+import time
+
+from repro.core.decompose import DecomposeConfig, DecomposedEngine
+from repro.core.engine import OptimizationEngine
+from repro.topology.generators import fat_tree
+from repro.traffic.hyperscale import sample_classes, scale_rates
+
+#: Offered load per host core (Mbps): ~25% utilisation, the regime where
+#: decomposition pays (near saturation the per-shard rounding dust makes
+#: capacity splits infeasible and the engine correctly falls back).
+MBPS_PER_CORE = 10.0
+
+#: Timing repetitions (min-of-N) for the crossover measurement.
+REPEATS = 2
+
+
+def _instance(k: int, num_classes: int, seed: int = 0):
+    topo = fat_tree(k=k)
+    cores = {s: topo.host_cores(s) for s in topo.switches}
+    offered = MBPS_PER_CORE * sum(cores.values())
+    classes = sample_classes(
+        topo, num_classes, seed=seed, mean_rate_mbps=offered / num_classes
+    )
+    return topo, cores, classes
+
+
+def _timed(fn, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_decomposed_beats_monolithic_cold(record_bench_scale):
+    """Cold crossover on the largest common instance (k=16, 48k classes)."""
+    topo, cores, classes = _instance(16, 48_000)
+
+    # Warm up the process (scipy/HiGHS first-call costs, page faults).
+    OptimizationEngine().place(classes[:200], cores)
+
+    timings = {}
+    plans = {}
+    for shards in (4, 2, 8):
+        def dec_solve(shards=shards):
+            engine = DecomposedEngine(
+                decompose=DecomposeConfig(shards=shards, min_classes=0)
+            )
+            plan = engine.place(classes, cores)
+            assert engine.mono_fallbacks == 0
+            return plan
+
+        reps = REPEATS if shards == 4 else 1
+        timings[f"decomposed_{shards}_cold_s"], plans[shards] = _timed(
+            dec_solve, reps
+        )
+
+    mono = OptimizationEngine()
+
+    def mono_solve():
+        mono.clear_templates()
+        return mono.place(classes, cores)
+
+    timings["monolithic_cold_s"], mono_plan = _timed(mono_solve)
+
+    for plan in [mono_plan, *plans.values()]:
+        assert plan.validate(cores) == []
+    # provable rounding gap: at most one extra ceiling per occupied slot
+    gap = plans[4].total_instances() - mono_plan.total_instances()
+    assert gap <= len(plans[4].quantities)
+
+    speedup = timings["monolithic_cold_s"] / timings["decomposed_4_cold_s"]
+    record_bench_scale(
+        "scale_crossover_fat_tree_k16",
+        {
+            "topology": topo.name,
+            "switches": topo.num_switches,
+            "classes": len(classes),
+            **{k: round(v, 3) for k, v in timings.items()},
+            "speedup_dec4_vs_mono": round(speedup, 3),
+            "monolithic_instances": mono_plan.total_instances(),
+            "decomposed_4_instances": plans[4].total_instances(),
+            "objective_gap": gap,
+        },
+    )
+    # The tentpole acceptance: decomposition wins the cold wall clock.
+    assert timings["decomposed_4_cold_s"] < timings["monolithic_cold_s"], (
+        f"decomposed 4-shard solve {timings['decomposed_4_cold_s']:.2f}s did "
+        f"not beat monolithic {timings['monolithic_cold_s']:.2f}s"
+    )
+
+
+def test_flagship_500_switch_fat_tree(record_bench_scale):
+    """A ≥500-switch fabric with ≥10⁴ classes solves cold and warm."""
+    topo, cores, classes = _instance(20, 16_000)
+    assert topo.num_switches >= 500
+    assert len(classes) >= 10_000
+
+    engine = DecomposedEngine(
+        decompose=DecomposeConfig(shards=8, min_classes=0)
+    )
+    cold_s, cold_plan = _timed(lambda: engine.place(classes, cores), 1)
+    # Scale the snapshot *down*: rates that grew past a shard's learned
+    # capacity grant would legitimately trigger a (cold) reclaim round,
+    # and this measurement wants the pure warm path.
+    snapshot = scale_rates(classes, 0.9)
+    warm_s, warm_plan = _timed(lambda: engine.place(snapshot, cores), 1)
+
+    assert cold_plan.validate(cores) == []
+    assert warm_plan.validate(cores) == []
+    assert warm_plan.warm_start
+    assert engine.mono_fallbacks == 0
+    record_bench_scale(
+        "scale_flagship_fat_tree_k20",
+        {
+            "topology": topo.name,
+            "switches": topo.num_switches,
+            "classes": len(classes),
+            "shards": 8,
+            "cold_s": round(cold_s, 3),
+            "warm_s": round(warm_s, 3),
+            "warm_speedup": round(cold_s / warm_s, 3),
+            "instances": cold_plan.total_instances(),
+        },
+    )
+
+
+def test_warm_resolve_bit_identical_across_seeds(record_bench_scale):
+    """Warm == cold, bit for bit, on every swept seed."""
+    checked = 0
+    for seed in (0, 1, 2):
+        _topo, cores, classes = _instance(8, 4_000, seed=seed)
+        snapshot = scale_rates(classes, 1.3)
+        cfg = DecomposeConfig(shards=4, min_classes=0)
+        warm_engine = DecomposedEngine(decompose=cfg)
+        warm_engine.place(classes, cores)  # cold build
+        warm_plan = warm_engine.place(snapshot, cores)
+        cold_plan = DecomposedEngine(decompose=cfg).place(snapshot, cores)
+        assert warm_plan.warm_start and not cold_plan.warm_start
+        assert warm_plan.quantities == cold_plan.quantities
+        assert warm_plan.distribution == cold_plan.distribution
+        checked += 1
+    record_bench_scale(
+        "scale_warm_bit_identity",
+        {"seeds_checked": checked, "shards": 4, "classes": 4_000},
+    )

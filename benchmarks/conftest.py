@@ -10,8 +10,9 @@ artifact the repo emits shares one schema family.  See
 files with ``python -m repro.obs.validate BENCH_engine.json``.
 
 ``record_bench`` targets ``BENCH_engine.json``, ``record_bench_dataplane``
-``BENCH_dataplane.json``, ``record_bench_chaos`` ``BENCH_chaos.json``, and
-``record_bench_southbound`` ``BENCH_southbound.json``.
+``BENCH_dataplane.json``, ``record_bench_chaos`` ``BENCH_chaos.json``,
+``record_bench_southbound`` ``BENCH_southbound.json``, and
+``record_bench_scale`` ``BENCH_scale.json``.
 """
 
 import json
@@ -26,6 +27,7 @@ BENCH_FILE = _ROOT / "BENCH_engine.json"
 BENCH_DATAPLANE_FILE = _ROOT / "BENCH_dataplane.json"
 BENCH_CHAOS_FILE = _ROOT / "BENCH_chaos.json"
 BENCH_SOUTHBOUND_FILE = _ROOT / "BENCH_southbound.json"
+BENCH_SCALE_FILE = _ROOT / "BENCH_scale.json"
 
 
 def report(result) -> None:
@@ -81,3 +83,9 @@ def record_bench_chaos():
 def record_bench_southbound():
     """Same appender, targeting ``BENCH_southbound.json``."""
     return _appender(BENCH_SOUTHBOUND_FILE)
+
+
+@pytest.fixture(scope="session")
+def record_bench_scale():
+    """Same appender, targeting ``BENCH_scale.json``."""
+    return _appender(BENCH_SCALE_FILE)

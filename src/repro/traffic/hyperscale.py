@@ -1,0 +1,110 @@
+"""Hyperscale workload synthesis: classes sampled without a full matrix.
+
+The replay experiments build a dense |V|×|V| traffic matrix and derive
+equivalence classes from it — fine at 79 switches, hopeless at thousands
+(a 500-node fat-tree has 250k pairs, of which a workload exercises a tiny
+fraction).  :func:`sample_classes` instead samples the class population
+directly: seeded (src, dst) pairs between host-bearing switches, paths
+from one BFS per distinct source (not one search per pair), chains hashed
+from the pair as :func:`repro.traffic.classes.hashed_assignment` does, and
+heavy-tailed per-class rates.  Everything is a pure function of
+``(topology, num_classes, seed)``, so the hyperscale benchmarks inherit
+the repo's bit-identity discipline.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.sim.rng import derive
+from repro.topology.graph import Topology
+from repro.traffic.classes import TrafficClass
+from repro.vnf.chains import STANDARD_CHAINS, PolicyChain
+
+
+def sample_classes(
+    topo: Topology,
+    num_classes: int,
+    seed: int = 0,
+    chains: Sequence[PolicyChain] = STANDARD_CHAINS,
+    mean_rate_mbps: float = 20.0,
+    rate_sigma: float = 0.8,
+) -> List[TrafficClass]:
+    """Sample ``num_classes`` equivalence classes over ``topo``.
+
+    Endpoints are drawn (seeded, uniform) from the switches that carry
+    APPLE hosts — in a fat-tree that is the edge layer, matching servers'
+    position in a real DC.  A pair drawn twice yields distinct classes
+    (``#0``, ``#1``, …) whose chains differ, the same shape
+    multi-application pairs produce in the matrix-driven builder.  Rates
+    are lognormal (heavy-tailed, like real per-aggregate volumes) with
+    the requested mean.
+
+    Deterministic: same arguments → identical list, element for element.
+    """
+    if num_classes < 1:
+        raise ValueError("num_classes must be positive")
+    if not chains:
+        raise ValueError("need at least one chain")
+    endpoints = [s for s in topo.switches if topo.host_cores(s) > 0]
+    if len(endpoints) < 2:
+        raise ValueError("topology needs at least two host-bearing switches")
+    rng = np.random.default_rng(derive(seed, "traffic.hyperscale"))
+
+    n = len(endpoints)
+    src_idx = rng.integers(0, n, size=num_classes)
+    dst_idx = rng.integers(0, n - 1, size=num_classes)
+    dst_idx = np.where(dst_idx >= src_idx, dst_idx + 1, dst_idx)  # dst != src
+
+    # Heavy-tailed rates with the requested mean: lognormal(µ, σ) has mean
+    # exp(µ + σ²/2), so µ is solved from the target.
+    mu = float(np.log(mean_rate_mbps) - rate_sigma**2 / 2.0)
+    rates = rng.lognormal(mean=mu, sigma=rate_sigma, size=num_classes)
+
+    # One BFS tree per distinct source instead of one search per pair.
+    path_cache: Dict[str, Dict[str, List[str]]] = {}
+
+    def path_to(src: str, dst: str) -> Tuple[str, ...]:
+        by_dst = path_cache.get(src)
+        if by_dst is None:
+            by_dst = path_cache[src] = nx.single_source_shortest_path(
+                topo.graph, src
+            )
+        return tuple(by_dst[dst])
+
+    counts: Dict[Tuple[str, str], int] = {}
+    out: List[TrafficClass] = []
+    for k in range(num_classes):
+        src = endpoints[int(src_idx[k])]
+        dst = endpoints[int(dst_idx[k])]
+        dup = counts.get((src, dst), 0)
+        counts[(src, dst)] = dup + 1
+        # Chain hashed from (pair, duplicate index): stable across runs,
+        # and repeated draws of one pair spread across the chain set.
+        chain = chains[zlib.crc32(f"{src}|{dst}|{dup}".encode()) % len(chains)]
+        out.append(
+            TrafficClass(
+                class_id=f"{src}->{dst}#{dup}",
+                src=src,
+                dst=dst,
+                path=path_to(src, dst),
+                chain=chain,
+                rate_mbps=float(rates[k]),
+            )
+        )
+    return out
+
+
+def scale_rates(
+    classes: Sequence[TrafficClass], factor: float
+) -> List[TrafficClass]:
+    """The next snapshot of a hyperscale series: same structure, scaled T_h.
+
+    Replay semantics in one line — paths and chains never change between
+    snapshots, so warm re-solves only rewrite rates.
+    """
+    return [c.with_rate(c.rate_mbps * factor) for c in classes]

@@ -1,0 +1,361 @@
+"""Decomposed placement: partition, coordination, and equivalence tests.
+
+The contract under test (DESIGN.md "Decomposed placement"):
+
+* below ``min_classes`` the decomposed engine is a bit-identical
+  passthrough to the monolithic one;
+* forced decomposition agrees with the monolithic engine on feasibility
+  and stays within the provable rounding gap on the objective
+  (``dec <= mono + #slots``: the load/capacity sum is invariant under
+  re-distribution, and the trim pass pays at most one ceiling per slot);
+* partitions that share no saturated host merge bit-identically;
+* per-shard warm re-solves are bit-identical to cold solves;
+* ``estimate_solve_seconds`` is shard-aware, so deadlines that the
+  decomposition can meet no longer degrade to the greedy placer.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import (
+    DecomposeConfig,
+    DecomposedEngine,
+    _allocate,
+    _repair_allocation,
+    auto_shard_count,
+    partition_classes,
+    structure_weight,
+)
+from repro.core.engine import EngineConfig, OptimizationEngine, PlacementError
+from repro.traffic.classes import TrafficClass
+from repro.traffic.hyperscale import scale_rates
+from repro.vnf.chains import PolicyChain
+from repro.vnf.types import DEFAULT_CATALOG
+
+SWITCHES = ["s0", "s1", "s2", "s3", "s4"]
+NFS = DEFAULT_CATALOG.names
+
+
+def mk_class(cid, path, chain, rate):
+    return TrafficClass(cid, path[0], path[-1], tuple(path), PolicyChain(chain), rate)
+
+
+@st.composite
+def instances(draw):
+    """Random multi-ingress instances over the 5-switch line."""
+    num_classes = draw(st.integers(2, 6))
+    classes = []
+    for k in range(num_classes):
+        start = draw(st.integers(0, 2))
+        end = draw(st.integers(start + 1, 4))
+        path = tuple(SWITCHES[start : end + 1])
+        chain_len = draw(st.integers(1, 3))
+        chain = draw(st.permutations(NFS).map(lambda p: list(p[:chain_len])))
+        rate = draw(st.floats(min_value=1.0, max_value=2500.0))
+        classes.append(
+            TrafficClass(f"c{k}", path[0], path[-1], path, PolicyChain(chain), rate)
+        )
+    cores = {s: draw(st.sampled_from([0, 32, 64, 128])) for s in SWITCHES}
+    return classes, cores
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+def test_partition_covers_every_class_exactly_once():
+    classes = [
+        mk_class(f"c{k}", SWITCHES[k % 3 :], ["firewall"], 100.0) for k in range(9)
+    ]
+    cores = {s: 64 for s in SWITCHES}
+    parts = partition_classes(classes, cores, 3)
+    seen = sorted(i for p in parts for i in p)
+    assert seen == list(range(9))
+
+
+def test_partition_keeps_ingress_groups_together():
+    classes = [
+        mk_class(f"c{k}", SWITCHES[k % 3 :], ["firewall"], 100.0) for k in range(9)
+    ]
+    cores = {s: 64 for s in SWITCHES}
+    for shards in (2, 3):
+        parts = partition_classes(classes, cores, shards)
+        for part in parts:
+            srcs = {classes[i].src for i in part}
+            # every ingress group lands whole in exactly one shard
+            for src in srcs:
+                members = [i for i, c in enumerate(classes) if c.src == src]
+                assert set(members) <= set(part)
+
+
+def test_partition_is_deterministic_and_rate_free():
+    classes = [
+        mk_class(f"c{k}", SWITCHES[k % 3 :], ["firewall", "proxy"], 100.0 + k)
+        for k in range(12)
+    ]
+    cores = {s: 64 for s in SWITCHES}
+    a = partition_classes(classes, cores, 4)
+    b = partition_classes(classes, cores, 4)
+    assert a == b
+    # rates must not influence the partition (snapshot stability)
+    scaled = scale_rates(classes, 7.5)
+    assert partition_classes(scaled, cores, 4) == a
+
+
+def test_partition_caps_at_ingress_group_count():
+    classes = [mk_class(f"c{k}", SWITCHES, ["firewall"], 50.0) for k in range(5)]
+    cores = {s: 64 for s in SWITCHES}
+    parts = partition_classes(classes, cores, 8)
+    assert len(parts) == 1  # single ingress group -> one shard
+    with pytest.raises(ValueError):
+        partition_classes(classes, cores, 0)
+
+
+def test_auto_shard_count_scales_with_model_size():
+    cores = {s: 64 for s in SWITCHES}
+    small = [mk_class(f"c{k}", SWITCHES[k % 3 :], ["firewall"], 10.0) for k in range(6)]
+    assert auto_shard_count(small, cores) == 1
+    big = [
+        mk_class(f"c{k}", SWITCHES[k % 3 :], list(NFS[:4]), 10.0) for k in range(3000)
+    ]
+    n = auto_shard_count(big, cores)
+    assert 1 < n <= 3  # capped by the 3 ingress groups
+    total = sum(structure_weight(c, cores) for c in big)
+    assert n == min(3, math.ceil(total / 2500))
+
+
+# ---------------------------------------------------------------------------
+# Capacity allocation primitives
+# ---------------------------------------------------------------------------
+def test_allocate_proportional_and_never_oversubscribes():
+    weights = [{"a": 3.0, "b": 1.0}, {"a": 1.0}, {"a": 0.0, "b": 1.0}]
+    grants = _allocate(weights, {"a": 64, "b": 10, "c": 4})
+    assert sum(g.get("a", 0) for g in grants) <= 64
+    assert sum(g.get("b", 0) for g in grants) <= 10
+    assert grants[0]["a"] == 48 and grants[1]["a"] == 16
+    assert "a" not in grants[2]  # zero weight -> no grant
+    assert all("c" not in g for g in grants)  # nobody asked for c
+    assert grants == _allocate(weights, {"a": 64, "b": 10, "c": 4})
+
+
+def test_repair_allocation_tops_up_starved_shard():
+    classes = [
+        mk_class("big", ["s0", "s1"], ["ids"], 100.0),  # IDS needs 8 cores
+        mk_class("small", ["s0", "s1"], ["firewall"], 100.0),
+    ]
+    cores = {"s0": 0, "s1": 16}
+    # proportional rounding left shard 0 with 2 cores at the only host
+    alloc = [{"s1": 2}, {"s1": 14}]
+    _repair_allocation(alloc, classes, [[0], [1]], cores, DEFAULT_CATALOG)
+    need = DEFAULT_CATALOG.get("ids").cores
+    assert alloc[0]["s1"] >= need
+    assert sum(a.get("s1", 0) for a in alloc) <= 16
+    assert alloc[1]["s1"] >= 1  # donor never drained below one core
+
+
+# ---------------------------------------------------------------------------
+# Passthrough and equivalence
+# ---------------------------------------------------------------------------
+def _plans_identical(a, b):
+    assert a.quantities == b.quantities
+    assert a.distribution == b.distribution
+    assert a.objective == b.objective
+    assert a.lp_bound == b.lp_bound
+
+
+def test_small_instance_is_bit_identical_passthrough():
+    classes = [
+        mk_class(f"c{k}", SWITCHES[k % 2 :], ["firewall", "proxy"], 300.0 + k)
+        for k in range(8)
+    ]
+    cores = {s: 64 for s in SWITCHES}
+    dec = DecomposedEngine()
+    mono = OptimizationEngine()
+    plan = dec.place(classes, cores)
+    _plans_identical(plan, mono.place(classes, cores))
+    assert dec.mono_passthroughs == 1
+    assert dec.decomposed_solves == 0
+
+
+def test_single_ingress_group_resolves_to_monolithic():
+    classes = [mk_class(f"c{k}", SWITCHES, ["firewall"], 200.0) for k in range(10)]
+    cores = {s: 64 for s in SWITCHES}
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=4, min_classes=0))
+    plan = dec.place(classes, cores)
+    assert dec.mono_passthroughs == 1  # effective shard count is 1
+    _plans_identical(plan, OptimizationEngine().place(classes, cores))
+
+
+def test_disjoint_partitions_merge_bit_identically():
+    """Shards sharing no saturated host merge to the union of the
+    per-group monolithic solves, bit for bit (the joint LP may pick a
+    different — equally optimal — vertex, so the comparison is against
+    what the monolithic engine does to each partition)."""
+    left = [mk_class(f"l{k}", ["s0", "s1"], ["firewall", "proxy"], 400.0) for k in range(3)]
+    right = [mk_class(f"r{k}", ["s3", "s4"], ["nat", "firewall"], 700.0) for k in range(3)]
+    classes = left + right
+    cores = {"s0": 64, "s1": 64, "s2": 0, "s3": 64, "s4": 64}
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=2, min_classes=0))
+    plan = dec.place(classes, cores)
+    assert dec.decomposed_solves == 1 and dec.mono_fallbacks == 0
+    mono = OptimizationEngine()
+    union: dict = {}
+    for group in (right, left):  # partition order must not matter
+        for slot, count in mono.place(group, cores).quantities.items():
+            union[slot] = union.get(slot, 0) + count
+    assert plan.quantities == union
+    assert plan.total_instances() == mono.place(classes, cores).total_instances()
+    assert plan.validate(cores) == []
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_decomposed_matches_monolithic_feasibility(instance):
+    classes, cores = instance
+    mono = OptimizationEngine(config=EngineConfig())
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=2, min_classes=0))
+    try:
+        mono_plan = mono.place(classes, cores)
+    except PlacementError:
+        # The monolithic ceiling-repair heuristic gave up.  The shards
+        # are smaller models, so the decomposition may still succeed —
+        # but whatever it returns must be a valid placement.
+        try:
+            plan = dec.place(classes, cores)
+        except PlacementError:
+            return
+        assert plan.validate(cores) == []
+        return
+    plan = dec.place(classes, cores)  # mono feasible -> dec must be too
+    problems = plan.validate(cores)
+    assert problems == [], problems
+    # provable rounding gap: the load/capacity sum is distribution-
+    # invariant, and the merged trim pays at most one ceiling per slot
+    assert plan.total_instances() <= mono_plan.total_instances() + len(
+        plan.quantities
+    )
+    assert plan.total_instances() >= mono_plan.lp_bound - 1e-6
+
+
+@given(instances())
+@settings(max_examples=15, deadline=None)
+def test_decomposed_warm_resolve_bit_identical_to_cold(instance):
+    classes, cores = instance
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=2, min_classes=0))
+    try:
+        first = dec.place(classes, cores)
+    except PlacementError:
+        return
+    again = dec.place(classes, cores)  # warm re-solve, same rates
+    assert again.quantities == first.quantities
+    assert again.distribution == first.distribution
+    assert again.warm_start
+
+
+def test_warm_snapshot_equals_cold_solve_of_same_rates():
+    """Rate-only snapshots re-solved warm match a cold engine bitwise."""
+    base = [
+        mk_class(f"c{k}", SWITCHES[k % 3 :], ["firewall", "proxy"], 150.0 + 10 * k)
+        for k in range(12)
+    ]
+    cores = {s: 64 for s in SWITCHES}
+    cfg = DecomposeConfig(shards=3, min_classes=0)
+    warm = DecomposedEngine(decompose=cfg)
+    warm.place(base, cores)  # cold build
+    for factor in (1.4, 0.6):
+        snapshot = scale_rates(base, factor)
+        warm_plan = warm.place(snapshot, cores)
+        cold_plan = DecomposedEngine(decompose=cfg).place(snapshot, cores)
+        assert warm_plan.warm_start and not cold_plan.warm_start
+        assert warm_plan.quantities == cold_plan.quantities
+        assert warm_plan.distribution == cold_plan.distribution
+    assert warm.warm_solves >= 6  # 3 shards x 2 snapshots
+
+
+# ---------------------------------------------------------------------------
+# Coordination under contention
+# ---------------------------------------------------------------------------
+def test_contended_hosts_converge_to_a_valid_plan():
+    """Two ingress groups squeezed onto two shared hosts stay feasible."""
+    shared = {"s0": 0, "s1": 0, "s2": 24, "s3": 24, "s4": 0}
+    a = [mk_class(f"a{k}", SWITCHES, ["firewall", "proxy"], 800.0) for k in range(3)]
+    b = [
+        mk_class(f"b{k}", SWITCHES[1:], ["nat", "firewall"], 800.0) for k in range(3)
+    ]
+    classes = a + b
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=2, min_classes=0))
+    plan = dec.place(classes, shared)
+    assert plan.validate(shared) == []
+    # merged usage respects the shared-host capacities (Eq. 6 coupling)
+    for sw, used in plan.cores_by_switch().items():
+        assert used <= shared[sw]
+
+
+def test_max_rounds_zero_falls_back_monolithic_on_contention():
+    """With no coordination budget, contention latches the mono fallback."""
+    shared = {"s0": 0, "s1": 0, "s2": 16, "s3": 16, "s4": 0}
+    a = [mk_class(f"a{k}", SWITCHES, ["firewall"], 900.0) for k in range(2)]
+    b = [mk_class(f"b{k}", SWITCHES[1:], ["firewall"], 900.0) for k in range(2)]
+    classes = a + b
+    dec = DecomposedEngine(
+        decompose=DecomposeConfig(shards=2, min_classes=0, max_rounds=0)
+    )
+    plan = dec.place(classes, shared)
+    assert plan.validate(shared) == []
+    if dec.mono_fallbacks:
+        # the latch is cached: the next snapshot skips coordination
+        before = dec.mono_fallbacks
+        dec.place(classes, shared)
+        assert dec.mono_fallbacks == before + 1
+
+
+def test_infeasible_instance_raises_like_monolithic():
+    classes = [mk_class("c0", ["s0", "s1"], ["ids"], 5000.0)]
+    cores = {"s0": 0, "s1": 4}  # IDS needs 8 cores: nowhere to stand
+    with pytest.raises(PlacementError):
+        OptimizationEngine().place(classes, cores)
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=2, min_classes=0))
+    with pytest.raises(PlacementError):
+        dec.place(classes, cores)
+
+
+# ---------------------------------------------------------------------------
+# Shard-aware solve estimates (deadline regression)
+# ---------------------------------------------------------------------------
+def _estimate_instance():
+    classes = [
+        mk_class(f"c{k}", SWITCHES[k % 3 :], ["firewall", "proxy", "nat"], 20.0)
+        for k in range(240)
+    ]
+    cores = {s: 640 for s in SWITCHES}
+    return classes, cores
+
+
+def test_estimate_accounts_for_partitioned_model():
+    classes, cores = _estimate_instance()
+    mono = OptimizationEngine()
+    est_mono = mono.estimate_solve_seconds(classes, cores)
+    est_dec = mono.estimate_solve_seconds(classes, cores, shards=3)
+    assert est_dec < est_mono  # superlinear model cost: shards are cheaper
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=3, min_classes=0))
+    assert dec.estimate_solve_seconds(classes, cores) == pytest.approx(est_dec)
+    # below min_classes the estimate is the monolithic one (passthrough)
+    small = DecomposedEngine(decompose=DecomposeConfig(shards=3, min_classes=10_000))
+    assert small.estimate_solve_seconds(classes, cores) == pytest.approx(est_mono)
+
+
+def test_deadline_between_estimates_no_longer_degrades():
+    """A deadline only the decomposition can meet runs the real solver."""
+    classes, cores = _estimate_instance()
+    mono = OptimizationEngine()
+    est_mono = mono.estimate_solve_seconds(classes, cores)
+    est_dec = mono.estimate_solve_seconds(classes, cores, shards=3)
+    deadline = (est_mono + est_dec) / 2
+    _, degraded = mono.place_with_deadline(classes, cores, deadline=deadline)
+    assert degraded  # the monolithic estimate blows the deadline
+    dec = DecomposedEngine(decompose=DecomposeConfig(shards=3, min_classes=0))
+    plan, degraded = dec.place_with_deadline(classes, cores, deadline=deadline)
+    assert not degraded
+    assert plan.validate(cores) == []
+    assert dec.deadline_fallbacks == 0

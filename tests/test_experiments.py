@@ -126,3 +126,21 @@ def test_packet_replay_quick():
     assert rows["policy violations"] == 0
     assert rows["delivered"] > 0
     assert rows["measured loss"] < 0.1
+
+
+def test_scale_sweep_quick():
+    from repro.experiments import scale_sweep
+
+    result = scale_sweep.run(quick=True, seed=0)
+    assert result.columns[3] == "mode"
+    modes = [r[3] for r in result.rows]
+    assert modes == ["monolithic", "decomposed-2"]
+    for row in result.rows:
+        assert row[-1] == 0  # no validation violations
+        assert row[7] is True  # warm snapshot re-solved warm
+    mono, dec = result.rows
+    # decomposed objective stays within the per-slot rounding gap
+    assert abs(dec[6] - mono[6]) <= max(4, mono[6] // 4)
+    # same seed, same sweep: the experiment is deterministic
+    again = scale_sweep.run(quick=True, seed=0)
+    assert [r[6] for r in again.rows] == [r[6] for r in result.rows]

@@ -4,7 +4,14 @@ import networkx as nx
 import pytest
 
 from repro.topology.datasets import as3679, geant, internet2, load_topology, univ1
-from repro.topology.generators import isp_like, two_tier_datacenter
+from repro.topology.generators import (
+    AS3679_LINK_NODE_RATIO,
+    fat_tree,
+    isp_like,
+    jellyfish,
+    scaled_wan,
+    two_tier_datacenter,
+)
 from repro.topology.graph import AppleHostSpec, Link, Topology
 from repro.topology.routing import (
     all_shortest_paths,
@@ -199,6 +206,11 @@ def test_isp_like_exact_counts_and_connected():
     assert topo.num_switches == 30
     assert topo.num_links == 50
     assert topo.is_connected()
+    # same seed -> identical topology; different seed -> different wiring
+    again = isp_like(num_nodes=30, num_links=50, seed=4)
+    assert {(l.u, l.v) for l in topo.links} == {(l.u, l.v) for l in again.links}
+    other = isp_like(num_nodes=30, num_links=50, seed=5)
+    assert {(l.u, l.v) for l in topo.links} != {(l.u, l.v) for l in other.links}
 
 
 def test_isp_like_bounds_checked():
@@ -206,3 +218,82 @@ def test_isp_like_bounds_checked():
         isp_like(num_nodes=10, num_links=8)  # below spanning tree
     with pytest.raises(ValueError):
         isp_like(num_nodes=5, num_links=11)  # above complete graph
+
+
+# ---------------------------------------------------------------------------
+# Hyperscale generators (fat-tree / Jellyfish / scaled WAN)
+# ---------------------------------------------------------------------------
+def _edge_set(topo):
+    return {frozenset((l.u, l.v)) for l in topo.links}
+
+
+def test_two_tier_single_core_has_no_core_links():
+    topo = two_tier_datacenter(num_core=1, num_edge=6)
+    assert topo.num_switches == 7
+    assert topo.num_links == 6  # bipartite mesh only
+    assert topo.is_connected()
+
+
+def test_fat_tree_structure():
+    topo = fat_tree(k=4)
+    assert topo.num_switches == 20  # 5k²/4
+    assert topo.num_links == 32  # k³/2
+    cores = [s for s in topo.switches if s.startswith("core")]
+    edges = [s for s in topo.switches if "-edge" in s]
+    aggs = [s for s in topo.switches if "-agg" in s]
+    assert len(cores) == 4 and len(aggs) == 8 and len(edges) == 8
+    # cores and aggs use all k ports switch-side; edge switches spend
+    # k/2 ports on servers, leaving k/2 uplinks
+    assert all(topo.degree(s) == 4 for s in cores + aggs)
+    assert all(topo.degree(e) == 2 for e in edges)
+    # APPLE hosts hang off the edge layer only
+    assert all(topo.host_cores(s) == 0 or s in edges for s in topo.switches)
+    assert all(topo.host_cores(e) == 64 for e in edges)
+    assert topo.is_connected()
+
+
+def test_fat_tree_scales_and_is_deterministic():
+    topo = fat_tree(k=20)
+    assert topo.num_switches == 500  # the hyperscale flagship size
+    assert topo.num_links == 4000
+    again = fat_tree(k=20)
+    assert topo.switches == again.switches
+    assert _edge_set(topo) == _edge_set(again)
+    with pytest.raises(ValueError):
+        fat_tree(k=5)  # odd arity
+    with pytest.raises(ValueError):
+        fat_tree(k=0)
+
+
+def test_jellyfish_regular_connected_deterministic():
+    topo = jellyfish(30, degree=4, seed=7)
+    assert topo.num_switches == 30
+    # the splice endgame may strand a port or two; near-regular is the
+    # Jellyfish guarantee, exact regularity is not
+    assert topo.num_links >= 30 * 4 // 2 - 2
+    degrees = [topo.degree(s) for s in topo.switches]
+    assert max(degrees) <= 4 and min(degrees) >= 2
+    assert sum(1 for d in degrees if d == 4) >= 28
+    assert topo.is_connected()
+    assert _edge_set(topo) == _edge_set(jellyfish(30, degree=4, seed=7))
+    assert _edge_set(topo) != _edge_set(jellyfish(30, degree=4, seed=8))
+    # every switch carries an APPLE host (servers spread over the fabric)
+    assert all(topo.host_cores(s) == 64 for s in topo.switches)
+
+
+def test_jellyfish_validates_parameters():
+    with pytest.raises(ValueError):
+        jellyfish(2, degree=2)
+    with pytest.raises(ValueError):
+        jellyfish(10, degree=1)
+    with pytest.raises(ValueError):
+        jellyfish(5, degree=3)  # odd degree sum
+
+
+def test_scaled_wan_keeps_rocketfuel_sparsity():
+    topo = scaled_wan(500, seed=3)
+    assert topo.num_switches == 500
+    assert topo.num_links == round(500 * AS3679_LINK_NODE_RATIO)
+    assert topo.is_connected()
+    assert _edge_set(topo) == _edge_set(scaled_wan(500, seed=3))
+    assert _edge_set(topo) != _edge_set(scaled_wan(500, seed=4))
