@@ -1,0 +1,80 @@
+"""Multi-tenant orchestrator benchmarks: intent throughput at scale.
+
+Two acceptance measurements of the tenancy subsystem, recorded to the
+``BENCH_tenancy.json`` trajectory:
+
+* **Tenants-vs-throughput curve** — whole platform histories at 25, 50,
+  100 and 200 tenants; for each point the wall-clock intent throughput
+  (terminal intents per second of real time) plus the p50/p99
+  intent-to-convergence *simulated* latency.  Every point must satisfy
+  the isolation invariants: zero cross-tenant policy-violation-seconds,
+  Verify OK at every convergence, zero final drift, no intent left
+  non-terminal.
+* **Same-seed bit-identity** — two full 50-tenant histories on one seed
+  produce identical platform state signatures.
+
+The simulated intent schedule (arrival, churn, rates, deliberate
+tenant-scoped misses) rides ``derive(seed, "tenancy.intents")`` so every
+point is reproducible bit for bit.
+"""
+
+import time
+
+from repro.experiments.multi_tenant import _build_and_run
+
+#: Tenant counts swept for the throughput curve.
+CURVE = (25, 50, 100, 200)
+SEED = 0
+
+
+def _history(tenants: int, seed: int = SEED):
+    """One platform history plus its wall-clock cost."""
+    started = time.perf_counter()
+    orch = _build_and_run(tenants, seed)
+    wall = time.perf_counter() - started
+    return orch, wall
+
+
+def _assert_invariants(m: dict, tenants: int) -> None:
+    assert m["cross_tenant_violation_seconds"] == 0, (
+        f"{tenants} tenants: cross-tenant policy-violation-seconds "
+        f"{m['cross_tenant_violation_seconds']} != 0"
+    )
+    assert m["verify_failed"] == 0, (
+        f"{tenants} tenants: {m['verify_failed']} convergence verifies failed"
+    )
+    assert m["drift"] == 0, f"{tenants} tenants: final drift {m['drift']} != 0"
+    assert m["waiting"] == 0, (
+        f"{tenants} tenants: {m['waiting']} intents never reached a "
+        "terminal state"
+    )
+
+
+def test_tenants_vs_throughput_curve(record_bench_tenancy):
+    """Throughput and latency at every point, invariants everywhere."""
+    metrics = {"seed": SEED, "tenant_counts": list(CURVE)}
+    for tenants in CURVE:
+        orch, wall = _history(tenants)
+        m = orch.metrics_summary()
+        _assert_invariants(m, tenants)
+        prefix = f"tenants_{tenants}"
+        metrics[f"{prefix}_intents"] = int(m["intents"])
+        metrics[f"{prefix}_wall_s"] = round(wall, 3)
+        metrics[f"{prefix}_intents_per_s"] = round(m["intents"] / wall, 1)
+        metrics[f"{prefix}_p50_latency_s"] = round(m["latency_p50"], 4)
+        metrics[f"{prefix}_p99_latency_s"] = round(m["latency_p99"], 4)
+        metrics[f"{prefix}_completed"] = int(m["completed"])
+        metrics[f"{prefix}_convergences"] = int(m["convergences"])
+    record_bench_tenancy("tenancy_throughput_curve", metrics)
+
+
+def test_same_seed_bit_identical(record_bench_tenancy):
+    """Two 50-tenant histories on one seed: identical state signatures."""
+    first, _ = _history(50)
+    second, _ = _history(50)
+    sig_a, sig_b = first.state_signature(), second.state_signature()
+    assert sig_a == sig_b, f"seed {SEED} reruns diverged: {sig_a} != {sig_b}"
+    record_bench_tenancy(
+        "tenancy_same_seed_bit_identity",
+        {"seed": SEED, "tenants": 50, "signature": sig_a},
+    )

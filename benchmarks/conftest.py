@@ -11,8 +11,9 @@ files with ``python -m repro.obs.validate BENCH_engine.json``.
 
 ``record_bench`` targets ``BENCH_engine.json``, ``record_bench_dataplane``
 ``BENCH_dataplane.json``, ``record_bench_chaos`` ``BENCH_chaos.json``,
-``record_bench_southbound`` ``BENCH_southbound.json``, and
-``record_bench_scale`` ``BENCH_scale.json``.
+``record_bench_southbound`` ``BENCH_southbound.json``,
+``record_bench_scale`` ``BENCH_scale.json``, and ``record_bench_tenancy``
+``BENCH_tenancy.json``.
 """
 
 import json
@@ -28,6 +29,7 @@ BENCH_DATAPLANE_FILE = _ROOT / "BENCH_dataplane.json"
 BENCH_CHAOS_FILE = _ROOT / "BENCH_chaos.json"
 BENCH_SOUTHBOUND_FILE = _ROOT / "BENCH_southbound.json"
 BENCH_SCALE_FILE = _ROOT / "BENCH_scale.json"
+BENCH_TENANCY_FILE = _ROOT / "BENCH_tenancy.json"
 
 
 def report(result) -> None:
@@ -89,3 +91,9 @@ def record_bench_southbound():
 def record_bench_scale():
     """Same appender, targeting ``BENCH_scale.json``."""
     return _appender(BENCH_SCALE_FILE)
+
+
+@pytest.fixture(scope="session")
+def record_bench_tenancy():
+    """Same appender, targeting ``BENCH_tenancy.json``."""
+    return _appender(BENCH_TENANCY_FILE)

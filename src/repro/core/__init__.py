@@ -18,7 +18,7 @@ from repro.core.baselines import (
     greedy_placement,
     ingress_placement,
 )
-from repro.core.controller import AppleController
+from repro.core.controller import AppleController, UnknownClassError
 from repro.core.dynamic import DynamicHandler, FailoverEvent
 from repro.core.engine import EngineConfig, OptimizationEngine
 from repro.core.metrics import (
@@ -50,6 +50,7 @@ __all__ = [
     "DynamicHandler",
     "FailoverEvent",
     "AppleController",
+    "UnknownClassError",
     "ingress_placement",
     "greedy_placement",
     "FRAMEWORK_COMPARISON",

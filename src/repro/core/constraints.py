@@ -1,0 +1,199 @@
+"""Constraint assembly for the placement ILP (Eq. 1–8), shared builders.
+
+The Optimization Engine's structure phase used to assemble the whole model
+inline in ``engine.py``; the blocks live here so other placement entry
+points (the decomposed solver's shards, the tenancy workers' per-tenant
+solves) read as a sequence of named equation builders rather than a wall
+of loops.
+
+Ordering contract — **do not reorder**: variable indices and constraint
+rows must come out exactly as the historical inline assembly produced
+them, because warm-started templates rewrite coefficients by position
+(:meth:`PlacementTemplate.set_rates`) and the repo's warm==cold tests pin
+solves bit for bit.  Concretely:
+
+1. d variables per class, per chain step, per host position (class order);
+   Eq. 4 completeness then Eq. 3 ordering rows interleaved per class;
+2. q variables over the sorted (switch, NF) slots;
+3. Eq. 5 capacity rows in slot order (their row indices are recorded for
+   the rate rewrite);
+4. Eq. 6 resource rows in sorted switch order;
+5. Eq. 6 memory rows (when memory is modelled) in sorted switch order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.solver.model import Constraint, LinExpr, Model, Variable
+from repro.traffic.classes import TrafficClass
+from repro.vnf.types import NFTypeCatalog
+
+#: (switch, NF) pair — one potential instance slot.
+Slot = Tuple[str, str]
+
+
+@dataclass
+class ConstraintBundle:
+    """Everything the assembly produced, in creation order.
+
+    The engine turns this into a :class:`PlacementTemplate`; the field
+    names deliberately match the template's so the hand-off is 1:1.
+    """
+
+    cons: List[Constraint] = field(default_factory=list)
+    d_vars: Dict[Tuple[str, int, int], Variable] = field(default_factory=dict)
+    q_vars: Dict[Slot, Variable] = field(default_factory=dict)
+    slots: List[Slot] = field(default_factory=list)
+    load_members: Dict[Slot, List[Tuple[int, Variable]]] = field(
+        default_factory=dict
+    )
+    cap_rows: Dict[Slot, int] = field(default_factory=dict)
+    resource_rows: Dict[str, int] = field(default_factory=dict)
+
+
+def add_flow_rows(
+    model: Model,
+    bundle: ConstraintBundle,
+    classes: Sequence[TrafficClass],
+    available_cores: Mapping[str, int],
+) -> None:
+    """d variables plus Eq. 4 completeness and Eq. 3 ordering rows.
+
+    d variables exist only at path positions whose switch has an APPLE
+    host; Eq. 3 appears with σ substituted away (cumulative portion of
+    step j-1 dominates step j at every path prefix).
+    """
+    d_vars = bundle.d_vars
+    load_members = bundle.load_members
+    cons = bundle.cons
+    for cls_idx, cls in enumerate(classes):
+        host_positions = [
+            i for i, sw in enumerate(cls.path) if available_cores.get(sw, 0) > 0
+        ]
+        for j, nf in enumerate(cls.chain):
+            for i in host_positions:
+                var = model.add_var(f"d[{cls.class_id},{i},{j}]", lb=0.0, ub=1.0)
+                d_vars[(cls.class_id, i, j)] = var
+                load_members.setdefault((cls.path[i], nf), []).append(
+                    (cls_idx, var)
+                )
+
+        # Eq. 4: every chain step processes 100% of the class.
+        for j in range(cls.chain_length):
+            step_vars = [d_vars[(cls.class_id, i, j)] for i in host_positions]
+            con = LinExpr.total(step_vars).eq(1.0)
+            con.name = f"complete[{cls.class_id},{j}]"
+            cons.append(con)
+
+        # Eq. 3 (with σ substituted): cumulative of step j-1 dominates
+        # cumulative of step j at every prefix of the path.
+        for j in range(1, cls.chain_length):
+            for stop in range(len(host_positions) - 1):
+                prefix = host_positions[: stop + 1]
+                expr = LinExpr.total(
+                    [(1.0, d_vars[(cls.class_id, i, j - 1)]) for i in prefix]
+                    + [(-1.0, d_vars[(cls.class_id, i, j)]) for i in prefix]
+                )
+                con = expr >= 0.0
+                con.name = f"order[{cls.class_id},{j},{stop}]"
+                cons.append(con)
+
+
+def add_instance_vars(model: Model, bundle: ConstraintBundle) -> None:
+    """Integer q variables for every used (switch, NF) slot, sorted."""
+    bundle.slots = sorted(bundle.load_members)
+    for (switch, nf) in bundle.slots:
+        bundle.q_vars[(switch, nf)] = model.add_var(
+            f"q[{switch},{nf}]", lb=0.0, integer=True
+        )
+
+
+def add_capacity_rows(
+    bundle: ConstraintBundle,
+    classes: Sequence[TrafficClass],
+    cap: Callable[[str], float],
+) -> None:
+    """Eq. 5: per-slot load ≤ instances × derated capacity.
+
+    The rate coefficients T_h are the only snapshot-dependent numbers in
+    the model; ``set_rates`` rewrites them, so each row's index is
+    recorded in ``cap_rows``.
+    """
+    cons = bundle.cons
+    for (switch, nf) in bundle.slots:
+        members = bundle.load_members[(switch, nf)]
+        expr = LinExpr.total(
+            [(classes[ci].rate_mbps, var) for ci, var in members]
+        ) - cap(nf) * bundle.q_vars[(switch, nf)]
+        con = expr <= 0.0
+        con.name = f"cap[{switch},{nf}]"
+        bundle.cap_rows[(switch, nf)] = len(cons)
+        cons.append(con)
+
+
+def add_resource_rows(
+    bundle: ConstraintBundle,
+    available_cores: Mapping[str, int],
+    catalog: NFTypeCatalog,
+) -> None:
+    """Eq. 6, core dimension: Σ cores_n · q ≤ A_v per switch."""
+    cons = bundle.cons
+    by_switch: Dict[str, List[Tuple[float, Variable]]] = {}
+    for (switch, nf), q in bundle.q_vars.items():
+        by_switch.setdefault(switch, []).append(
+            (float(catalog.get(nf).cores), q)
+        )
+    for switch, terms in sorted(by_switch.items()):
+        con = LinExpr.total(terms) <= float(available_cores.get(switch, 0))
+        con.name = f"res[{switch}]"
+        bundle.resource_rows[switch] = len(cons)
+        cons.append(con)
+
+
+def add_memory_rows(
+    bundle: ConstraintBundle,
+    available_memory_gb: Optional[Mapping[str, float]],
+    catalog: NFTypeCatalog,
+) -> None:
+    """Eq. 6, memory dimension (when modelled): Σ mem_n · q ≤ M_v."""
+    if available_memory_gb is None:
+        return
+    cons = bundle.cons
+    mem_by_switch: Dict[str, List[Tuple[float, Variable]]] = {}
+    for (switch, nf), q in bundle.q_vars.items():
+        mem_by_switch.setdefault(switch, []).append(
+            (float(catalog.get(nf).memory_gb), q)
+        )
+    for switch, terms in sorted(mem_by_switch.items()):
+        con = LinExpr.total(terms) <= float(
+            available_memory_gb.get(switch, 0.0)
+        )
+        con.name = f"mem[{switch}]"
+        cons.append(con)
+
+
+def instance_count_objective(bundle: ConstraintBundle) -> LinExpr:
+    """Eq. 1: total instance count, in q creation (slot) order."""
+    return LinExpr.total(list(bundle.q_vars.values()))
+
+
+def assemble_placement_model(
+    model: Model,
+    classes: Sequence[TrafficClass],
+    available_cores: Mapping[str, int],
+    available_memory_gb: Optional[Mapping[str, float]],
+    cap: Callable[[str], float],
+    catalog: NFTypeCatalog,
+) -> ConstraintBundle:
+    """Run every builder in the pinned order and attach the objective."""
+    bundle = ConstraintBundle()
+    add_flow_rows(model, bundle, classes, available_cores)
+    add_instance_vars(model, bundle)
+    add_capacity_rows(bundle, classes, cap)
+    add_resource_rows(bundle, available_cores, catalog)
+    add_memory_rows(bundle, available_memory_gb, catalog)
+    model.add_constraints(bundle.cons)
+    model.minimize(instance_count_objective(bundle))
+    return bundle

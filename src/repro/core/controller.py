@@ -32,6 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.southbound.fabric import SouthboundFabric
 
 
+class UnknownClassError(KeyError):
+    """A class id that is not part of the current deployment.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError``
+    handlers keep working; tenancy workers catch this type specifically to
+    distinguish a tenant-scoped miss (a class belonging to another tenant,
+    or one already deleted) from a genuine mapping bug.
+    """
+
+    def __init__(self, class_id: str) -> None:
+        super().__init__(f"unknown class {class_id!r}")
+        self.class_id = class_id
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
 @dataclass
 class Deployment:
     """A realised placement: everything needed to push packets."""
@@ -158,7 +175,7 @@ class AppleController:
             (c for c in self.deployment.plan.classes if c.class_id == class_id), None
         )
         if cls is None:
-            raise KeyError(f"unknown class {class_id!r}")
+            raise UnknownClassError(class_id)
         packet = Packet(
             class_id=class_id,
             flow_hash=flow_hash,

@@ -38,10 +38,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs, perf
+from repro.core.constraints import assemble_placement_model
 from repro.core.placement import PlacementPlan
 from repro.solver.branch_bound import solve_branch_bound
 from repro.solver.lp import solve_lp, SolverError
-from repro.solver.model import CompiledModel, Constraint, LinExpr, Model, Variable
+from repro.solver.model import CompiledModel, Model, Variable
 from repro.solver.rounding import solve_with_rounding
 from repro.traffic.classes import TrafficClass
 from repro.vnf.types import DEFAULT_CATALOG, NFTypeCatalog
@@ -510,111 +511,34 @@ class OptimizationEngine:
         available_memory_gb: Optional[Mapping[str, float]],
         key: tuple,
     ) -> PlacementTemplate:
-        """The structure phase: variables, constraints, compiled matrices."""
+        """The structure phase: variables, constraints, compiled matrices.
+
+        The Eq. 1–6 assembly lives in :mod:`repro.core.constraints`; the
+        builders run in a pinned order so variable indices and constraint
+        rows — and therefore warm-started solves — stay bit-identical to
+        the historical inline assembly.
+        """
         model = Model("apple-placement")
-        cons: List[Constraint] = []
-        # d variables, created lazily only at host positions -------------
-        d_vars: Dict[Tuple[str, int, int], Variable] = {}
-        # load_members[(v, n)] collects (class idx, d_var) for Eq. 5 rows
-        load_members: Dict[Tuple[str, str], List[Tuple[int, Variable]]] = {}
-
-        for cls_idx, cls in enumerate(classes):
-            host_positions = [
-                i for i, sw in enumerate(cls.path) if available_cores.get(sw, 0) > 0
-            ]
-            for j, nf in enumerate(cls.chain):
-                for i in host_positions:
-                    var = model.add_var(f"d[{cls.class_id},{i},{j}]", lb=0.0, ub=1.0)
-                    d_vars[(cls.class_id, i, j)] = var
-                    load_members.setdefault((cls.path[i], nf), []).append(
-                        (cls_idx, var)
-                    )
-
-            # Eq. 4: every chain step processes 100% of the class.
-            for j in range(cls.chain_length):
-                step_vars = [d_vars[(cls.class_id, i, j)] for i in host_positions]
-                con = LinExpr.total(step_vars).eq(1.0)
-                con.name = f"complete[{cls.class_id},{j}]"
-                cons.append(con)
-
-            # Eq. 3 (with σ substituted): cumulative of step j-1 dominates
-            # cumulative of step j at every prefix of the path.
-            for j in range(1, cls.chain_length):
-                for stop in range(len(host_positions) - 1):
-                    prefix = host_positions[: stop + 1]
-                    expr = LinExpr.total(
-                        [(1.0, d_vars[(cls.class_id, i, j - 1)]) for i in prefix]
-                        + [(-1.0, d_vars[(cls.class_id, i, j)]) for i in prefix]
-                    )
-                    con = expr >= 0.0
-                    con.name = f"order[{cls.class_id},{j},{stop}]"
-                    cons.append(con)
-
-        # q variables for used (switch, NF) pairs -------------------------
-        slots = sorted(load_members)
-        q_vars: Dict[Tuple[str, str], Variable] = {}
-        for (switch, nf) in slots:
-            q_vars[(switch, nf)] = model.add_var(
-                f"q[{switch},{nf}]", lb=0.0, integer=True
-            )
-
-        # Eq. 5: capacity.  The rate coefficients T_h are the only
-        # snapshot-dependent numbers in the model; set_rates rewrites them.
-        cap_rows: Dict[Tuple[str, str], int] = {}
-        for (switch, nf) in slots:
-            members = load_members[(switch, nf)]
-            cap = self._cap(nf)
-            expr = LinExpr.total(
-                [(classes[ci].rate_mbps, var) for ci, var in members]
-            ) - cap * q_vars[(switch, nf)]
-            con = expr <= 0.0
-            con.name = f"cap[{switch},{nf}]"
-            cap_rows[(switch, nf)] = len(cons)
-            cons.append(con)
-
-        # Eq. 6: per-switch resources.
-        by_switch: Dict[str, List[Tuple[float, Variable]]] = {}
-        for (switch, nf), q in q_vars.items():
-            by_switch.setdefault(switch, []).append(
-                (float(self.catalog.get(nf).cores), q)
-            )
-        resource_rows: Dict[str, int] = {}
-        for switch, terms in sorted(by_switch.items()):
-            con = LinExpr.total(terms) <= float(available_cores.get(switch, 0))
-            con.name = f"res[{switch}]"
-            resource_rows[switch] = len(cons)
-            cons.append(con)
-
-        # Eq. 6, memory dimension (when modelled): Σ mem_n · q ≤ M_v.
-        if available_memory_gb is not None:
-            mem_by_switch: Dict[str, List[Tuple[float, Variable]]] = {}
-            for (switch, nf), q in q_vars.items():
-                mem_by_switch.setdefault(switch, []).append(
-                    (float(self.catalog.get(nf).memory_gb), q)
-                )
-            for switch, terms in sorted(mem_by_switch.items()):
-                con = LinExpr.total(terms) <= float(
-                    available_memory_gb.get(switch, 0.0)
-                )
-                con.name = f"mem[{switch}]"
-                cons.append(con)
-
-        model.add_constraints(cons)
-
-        # Eq. 1: minimise total instance count.
-        model.minimize(LinExpr.total(list(q_vars.values())))
+        bundle = assemble_placement_model(
+            model,
+            classes,
+            available_cores,
+            available_memory_gb,
+            cap=self._cap,
+            catalog=self.catalog,
+        )
         compiled = model.compile()
 
         template = PlacementTemplate(
             key=key,
             model=model,
             compiled=compiled,
-            d_vars=d_vars,
-            q_vars=q_vars,
-            slots=slots,
-            load_members=load_members,
-            cap_rows=cap_rows,
-            resource_rows=resource_rows,
+            d_vars=bundle.d_vars,
+            q_vars=bundle.q_vars,
+            slots=bundle.slots,
+            load_members=bundle.load_members,
+            cap_rows=bundle.cap_rows,
+            resource_rows=bundle.resource_rows,
         )
         self._index_template(template)
         return template

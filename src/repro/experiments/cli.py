@@ -24,7 +24,7 @@ from typing import Callable, Dict, List
 from repro import obs
 from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12
 from repro.experiments import failure_recovery, failure_sweep, packet_replay
-from repro.experiments import scale_sweep, southbound_chaos
+from repro.experiments import multi_tenant, scale_sweep, southbound_chaos
 from repro.experiments import table1, table4, table5
 from repro.experiments.harness import (
     ExperimentResult,
@@ -40,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "failure_sweep": failure_sweep.run,
     "southbound_chaos": southbound_chaos.run,
     "scale_sweep": scale_sweep.run,
+    "multi_tenant": multi_tenant.run,
     "table1": table1.run,
     "table4": table4.run,
     "table5": table5.run,
@@ -56,7 +57,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 _QUICKABLE = {
     "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "packet_replay", "failure_recovery", "failure_sweep",
-    "southbound_chaos", "scale_sweep",
+    "southbound_chaos", "scale_sweep", "multi_tenant",
 }
 
 #: Experiments whose run() accepts a jobs flag (process fan-out over
@@ -65,7 +66,8 @@ _JOBSABLE = {"fig12", "table5", "failure_recovery", "failure_sweep",
              "southbound_chaos"}
 
 #: Experiments whose run() accepts a seed (deterministic chaos runs).
-_SEEDABLE = {"failure_recovery", "southbound_chaos", "scale_sweep"}
+_SEEDABLE = {"failure_recovery", "southbound_chaos", "scale_sweep",
+             "multi_tenant"}
 
 #: Experiments whose run() accepts a batch size (packets per simulator
 #: event through the data-plane fast path).

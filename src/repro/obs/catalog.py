@@ -141,6 +141,25 @@ CATALOG: Tuple[MetricDef, ...] = (
               "Desired-state push -> every switch at zero drift"),
     MetricDef("counter", "solver_deadline_fallbacks_total",
               "Placements degraded to the greedy placer by the deadline"),
+    # ------------------------------------------------------------ tenancy
+    MetricDef("counter", "tenancy_intents_total",
+              "Tenant intents reaching a terminal state",
+              ("kind", "outcome")),
+    MetricDef("histogram", "tenancy_intent_latency_seconds",
+              "Intent submit -> converged terminal state (simulated seconds)"),
+    MetricDef("gauge", "tenancy_active_tenants",
+              "Tenants with a live deployment or queued work"),
+    MetricDef("gauge", "tenancy_worker_queue_depth",
+              "Intents pending per tenant lifecycle worker", ("tenant",)),
+    MetricDef("counter", "tenancy_grants_total",
+              "Capacity-arbiter admission decisions", ("outcome",)),
+    MetricDef("gauge", "tenancy_granted_cores",
+              "Host cores currently reserved across all tenants"),
+    MetricDef("counter", "tenancy_convergence_verifies_total",
+              "Per-tenant deployment audits at epoch convergence",
+              ("result",)),
+    MetricDef("counter", "tenancy_cross_tenant_violation_seconds_total",
+              "Audit intervals with a cross-tenant isolation violation"),
     # ---------------------------------------------------------- simulator
     MetricDef("counter", "sim_events_fired_total",
               "Events executed by the most recent simulator run (collected)"),

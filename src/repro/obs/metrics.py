@@ -40,9 +40,11 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
     1, 8, 64, 256, 1024, 4096, 16384, 65536,
 )
 
-#: Hard cap on distinct label-value combinations per metric.  Exceeding it
-#: raises instead of silently exploding memory — a misbehaving label
-#: (e.g. a per-packet id) is a bug, not load.
+#: Default cap on distinct label-value combinations per metric.  Exceeding
+#: it raises instead of silently exploding memory — a misbehaving label
+#: (e.g. a per-packet id) is a bug, not load.  Registries that legitimately
+#: need more (per-tenant labels over hundreds of tenants) pass
+#: ``MetricsRegistry(max_series=...)``.
 MAX_SERIES_PER_METRIC = 512
 
 
@@ -209,10 +211,11 @@ class Metric:
 
     # ------------------------------------------------------------------
     def _make_series(self, values: Tuple[str, ...]) -> _Series:
-        if len(self._series) >= MAX_SERIES_PER_METRIC:
+        cap = self._registry.max_series
+        if len(self._series) >= cap:
             raise MetricError(
                 f"metric {self.name!r}: series cardinality limit "
-                f"({MAX_SERIES_PER_METRIC}) exceeded — check label values"
+                f"({cap}) exceeded — check label values"
             )
         series = _SERIES_TYPES[self.kind](self, values)
         self._series[values] = series
@@ -308,10 +311,21 @@ class Metric:
 
 
 class MetricsRegistry:
-    """Holds metric families; disabled (all updates no-ops) by default."""
+    """Holds metric families; disabled (all updates no-ops) by default.
 
-    def __init__(self) -> None:
+    Args:
+        max_series: per-metric cardinality cap (distinct label-value
+            combinations); defaults to :data:`MAX_SERIES_PER_METRIC` (512).
+            Workloads with naturally wide labels — e.g. per-tenant series
+            across hundreds of tenants — raise it at construction time or
+            by assigning ``registry.max_series`` before the hot loop.
+    """
+
+    def __init__(self, max_series: int = MAX_SERIES_PER_METRIC) -> None:
+        if max_series < 1:
+            raise MetricError(f"max_series must be >= 1, got {max_series}")
         self.enabled = False
+        self.max_series = max_series
         self._metrics: Dict[str, Metric] = {}
 
     # ------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Multi-tenant intent orchestration (ROADMAP item 3).
+
+The paper's controller enforces one global policy set; this package turns
+it into a shared platform.  Each tenant's policy chains are a *blueprint*
+owned by a serialized lifecycle worker (one in-flight op per tenant, FIFO
+queue), day-0/day-2 operations arrive as typed intents on a sim-time
+message bus, and a capacity arbiter owns the shared host-core and TCAM
+budgets so tenants can never interfere with each other's deployments.
+
+* :mod:`repro.tenancy.intents` — the typed intent API
+  (``CreateChain`` / ``UpdateRates`` / ``ScaleChain`` / ``DeleteChain``);
+* :mod:`repro.tenancy.bus` — validated, deterministic sim-time delivery;
+* :mod:`repro.tenancy.arbiter` — shared-capacity grants, FIFO admission
+  queue, trim-to-usage accounting;
+* :mod:`repro.tenancy.worker` — the per-tenant lifecycle worker driving
+  solve → sub-classes → tagging → southbound commit;
+* :mod:`repro.tenancy.orchestrator` — the façade wiring bus, arbiter and
+  workers over one topology, plus the cross-tenant isolation audit.
+"""
+
+from repro.tenancy.arbiter import CapacityArbiter, Grant
+from repro.tenancy.bus import IntentBus
+from repro.tenancy.intents import (
+    CreateChain,
+    DeleteChain,
+    Intent,
+    IntentRecord,
+    IntentValidationError,
+    ScaleChain,
+    UpdateRates,
+)
+from repro.tenancy.orchestrator import TenantOrchestrator
+from repro.tenancy.worker import TenantWorker
+
+__all__ = [
+    "CapacityArbiter",
+    "Grant",
+    "IntentBus",
+    "Intent",
+    "CreateChain",
+    "UpdateRates",
+    "ScaleChain",
+    "DeleteChain",
+    "IntentRecord",
+    "IntentValidationError",
+    "TenantOrchestrator",
+    "TenantWorker",
+]

@@ -1,0 +1,62 @@
+"""The sim-time intent bus: validated, ordered, deterministic delivery.
+
+One bus per orchestrator.  ``submit`` validates the intent, wraps it in
+an :class:`IntentRecord` with a global sequence number, and schedules its
+delivery on the simulator — so intent arrival interleaves with rule
+installs, reconciler passes and convergence callbacks exactly like any
+other event, and two runs with the same seed see the same total order.
+
+Delivery order is (sim time, schedule order): the kernel's event queue
+breaks time ties by insertion sequence, which the bus inherits, so
+concurrent submissions still arrive deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.tenancy.intents import Intent, IntentRecord
+
+
+class IntentBus:
+    """Validates intents and delivers them as simulator events."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._subscriber: Optional[Callable[[IntentRecord], None]] = None
+        self._seq = 0
+        #: Every record ever accepted, in submission order.
+        self.records: List[IntentRecord] = []
+
+    def subscribe(self, handler: Callable[[IntentRecord], None]) -> None:
+        """Register the single delivery target (the orchestrator)."""
+        if self._subscriber is not None:
+            raise RuntimeError("intent bus already has a subscriber")
+        self._subscriber = handler
+
+    def submit(self, intent: Intent, delay: float = 0.0) -> IntentRecord:
+        """Validate and enqueue one intent; returns its lifecycle record.
+
+        Args:
+            delay: sim seconds from now until delivery (0 = this event
+                round, still strictly after the current callback returns).
+
+        Raises:
+            IntentValidationError: the intent is structurally malformed —
+                nothing is enqueued.
+        """
+        if self._subscriber is None:
+            raise RuntimeError("intent bus has no subscriber")
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        intent.validate()
+        record = IntentRecord(
+            intent=intent,
+            seq=self._seq,
+            submitted_at=self.sim.now + delay,
+        )
+        self._seq += 1
+        self.records.append(record)
+        self.sim.schedule(delay, self._subscriber, (record,))
+        return record

@@ -1,0 +1,178 @@
+"""The typed tenant intent API: day-0/day-2 ops as immutable messages.
+
+Tenants never touch the controller directly; they submit intents.  Each
+intent names a tenant and (except :class:`UpdateRates`) one policy chain
+of that tenant's blueprint.  Intents are validated structurally before
+they are enqueued (:meth:`Intent.validate`), and tracked end to end by an
+:class:`IntentRecord` whose status walks::
+
+    accepted -> (waiting) -> in_progress -> completed
+                                         -> rejected   (capacity)
+                                         -> failed     (bad reference)
+
+``waiting`` covers both the tenant worker's FIFO and the capacity
+arbiter's admission queue — the intent is parked, not lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class IntentValidationError(ValueError):
+    """An intent that is malformed on its face (bad rate, empty chain...)."""
+
+
+#: Terminal + transient states of an intent record.
+ACCEPTED = "accepted"
+WAITING = "waiting"
+IN_PROGRESS = "in_progress"
+COMPLETED = "completed"
+REJECTED = "rejected"
+FAILED = "failed"
+
+TERMINAL_STATES = (COMPLETED, REJECTED, FAILED)
+
+
+@dataclass(frozen=True)
+class Intent:
+    """Base class: every intent belongs to exactly one tenant."""
+
+    tenant_id: str
+
+    #: Message kind, overridden per subclass ("create" / "update" / ...).
+    kind = "intent"
+
+    def validate(self) -> None:
+        if not self.tenant_id:
+            raise IntentValidationError("intent without a tenant_id")
+
+
+@dataclass(frozen=True)
+class CreateChain(Intent):
+    """Day-0: provision one policy chain between two endpoints.
+
+    Attributes:
+        chain_id: tenant-scoped chain name (unique within the tenant).
+        src / dst: ingress and egress switches.
+        chain: the ordered NF sequence.
+        rate_mbps: the chain's provisioned traffic rate.
+    """
+
+    chain_id: str = ""
+    src: str = ""
+    dst: str = ""
+    chain: Tuple[str, ...] = ()
+    rate_mbps: float = 0.0
+
+    kind = "create"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.chain_id:
+            raise IntentValidationError("CreateChain without a chain_id")
+        if not self.src or not self.dst or self.src == self.dst:
+            raise IntentValidationError(
+                f"CreateChain {self.chain_id!r}: need distinct src and dst"
+            )
+        if not self.chain:
+            raise IntentValidationError(
+                f"CreateChain {self.chain_id!r}: empty policy chain"
+            )
+        if self.rate_mbps <= 0:
+            raise IntentValidationError(
+                f"CreateChain {self.chain_id!r}: rate must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class UpdateRates(Intent):
+    """Day-2: set new provisioned rates for existing chains."""
+
+    rates: Tuple[Tuple[str, float], ...] = ()
+
+    kind = "update"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.rates:
+            raise IntentValidationError("UpdateRates without any rates")
+        for chain_id, rate in self.rates:
+            if not chain_id:
+                raise IntentValidationError("UpdateRates with an empty chain_id")
+            if rate <= 0:
+                raise IntentValidationError(
+                    f"UpdateRates {chain_id!r}: rate must be positive"
+                )
+
+
+@dataclass(frozen=True)
+class ScaleChain(Intent):
+    """Day-2: multiply one chain's provisioned rate by ``factor``."""
+
+    chain_id: str = ""
+    factor: float = 1.0
+
+    kind = "scale"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.chain_id:
+            raise IntentValidationError("ScaleChain without a chain_id")
+        if self.factor <= 0:
+            raise IntentValidationError(
+                f"ScaleChain {self.chain_id!r}: factor must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class DeleteChain(Intent):
+    """Day-2: decommission one chain (the last chain tears the tenant down)."""
+
+    chain_id: str = ""
+
+    kind = "delete"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.chain_id:
+            raise IntentValidationError("DeleteChain without a chain_id")
+
+
+@dataclass
+class IntentRecord:
+    """Mutable lifecycle envelope around one submitted intent."""
+
+    intent: Intent
+    seq: int
+    submitted_at: float
+    status: str = ACCEPTED
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: Human-readable reason for rejected/failed outcomes.
+    detail: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit → terminal sim-time latency (None while in flight)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "tenant": self.intent.tenant_id,
+            "kind": self.intent.kind,
+            "status": self.status,
+            "submitted_at": round(self.submitted_at, 9),
+            "completed_at": (
+                None if self.completed_at is None else round(self.completed_at, 9)
+            ),
+            "detail": self.detail,
+        }

@@ -1,0 +1,273 @@
+"""The multi-tenant orchestrator façade: bus + arbiter + workers.
+
+One orchestrator owns one topology and one simulator.  Tenants appear on
+first intent, disappear on their last ``DeleteChain``; in between their
+lifecycle workers run concurrently on the shared timeline — independent
+tenants' southbound epochs overlap, while the capacity arbiter keeps
+their reservations disjoint.
+
+A periodic *cross-tenant audit* (the interference-free invariant at the
+platform level) checks every tick that (a) the arbiter's ledger balances,
+(b) the sum of every tenant's *actual* deployed cores fits the physical
+hosts, and (c) the shared TCAM budget holds.  Any tick in violation
+accrues cross-tenant policy-violation-seconds — the number every run must
+report as zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.engine import EngineConfig
+from repro.sim.kernel import Simulator, Timer
+from repro.southbound.config import ChannelConfig
+from repro.tenancy.arbiter import CapacityArbiter
+from repro.tenancy.bus import IntentBus
+from repro.tenancy.intents import COMPLETED, Intent, IntentRecord
+from repro.tenancy.worker import TenantWorker
+from repro.topology.graph import Topology
+from repro.topology.routing import Router
+from repro.vnf.types import DEFAULT_CATALOG, NFTypeCatalog
+
+#: Default shared classification-TCAM budget across all tenants.
+DEFAULT_TCAM_BUDGET = 100_000
+
+
+class TenantOrchestrator:
+    """Multi-tenant control plane over one shared topology.
+
+    Args:
+        topo: the shared substrate; its host specs are the arbiter's
+            physical core pool.
+        sim: the deterministic event kernel every subsystem shares.
+        seed: run seed; all tenancy randomness lives on derived
+            substreams (``tenancy.*``), so tenant workloads never perturb
+            each other's draws.
+        tcam_budget: shared classification-entry budget.
+        audit_interval: cross-tenant isolation audit period (sim s).
+        admission_timeout: how long (sim s) a capacity-starved intent may
+            wait parked at the arbiter before being rejected.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        sim: Simulator,
+        seed: int = 0,
+        catalog: NFTypeCatalog = DEFAULT_CATALOG,
+        engine_config: Optional[EngineConfig] = None,
+        channel_config: Optional[ChannelConfig] = None,
+        tcam_budget: int = DEFAULT_TCAM_BUDGET,
+        audit_interval: float = 0.25,
+        admission_timeout: float = 8.0,
+    ) -> None:
+        self.topo = topo
+        self.sim = sim
+        self.seed = seed
+        self.catalog = catalog
+        self.engine_config = engine_config or EngineConfig()
+        self.channel_config = channel_config or ChannelConfig()
+        self.router = Router(topo)
+        self.arbiter = CapacityArbiter(
+            sim,
+            {s: spec.cores for s, spec in topo.hosts.items()},
+            tcam_budget,
+            catalog,
+            capacity_headroom=self.engine_config.capacity_headroom,
+            admission_timeout=admission_timeout,
+        )
+        self.bus = IntentBus(sim)
+        self.bus.subscribe(self._dispatch)
+        self.workers: Dict[str, TenantWorker] = {}
+        self._audit_timer: Optional[Timer] = None
+
+        # Run accounting (ground truth for metrics and experiment rows).
+        self.outcomes: Dict[str, int] = {}
+        self.latencies: List[float] = []
+        self.verify_ok = 0
+        self.verify_failed = 0
+        self.convergences = 0
+        self.cross_tenant_violation_seconds = 0.0
+        self.audit_ticks = 0
+
+    # ------------------------------------------------------------------
+    # Intent entry point
+    # ------------------------------------------------------------------
+    def submit(self, intent: Intent, delay: float = 0.0) -> IntentRecord:
+        """Validate and enqueue one tenant intent (see :class:`IntentBus`)."""
+        return self.bus.submit(intent, delay=delay)
+
+    def _dispatch(self, record: IntentRecord) -> None:
+        tenant_id = record.intent.tenant_id
+        worker = self.workers.get(tenant_id)
+        if worker is None:
+            worker = TenantWorker(tenant_id, self)
+            self.workers[tenant_id] = worker
+        worker.submit(record)
+        if obs.REGISTRY.enabled:
+            obs.metric("tenancy_worker_queue_depth").labels(
+                tenant=tenant_id
+            ).set(worker.queue_depth())
+            obs.metric("tenancy_active_tenants").set(self.active_tenants())
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called by workers / arbiter)
+    # ------------------------------------------------------------------
+    def _intent_done(self, record: IntentRecord) -> None:
+        self.outcomes[record.status] = self.outcomes.get(record.status, 0) + 1
+        if record.status == COMPLETED and record.latency is not None:
+            self.latencies.append(record.latency)
+        if obs.REGISTRY.enabled:
+            obs.metric("tenancy_intents_total").labels(
+                kind=record.intent.kind, outcome=record.status
+            ).inc()
+            if record.latency is not None:
+                obs.metric("tenancy_intent_latency_seconds").observe(
+                    record.latency
+                )
+            worker = self.workers.get(record.intent.tenant_id)
+            if worker is not None:
+                obs.metric("tenancy_worker_queue_depth").labels(
+                    tenant=record.intent.tenant_id
+                ).set(worker.queue_depth())
+            obs.metric("tenancy_granted_cores").set(
+                self.arbiter.granted_cores()
+            )
+
+    def _note_grant(self, status: str) -> None:
+        if obs.REGISTRY.enabled:
+            obs.metric("tenancy_grants_total").labels(outcome=status).inc()
+
+    def _note_verify(self, tenant_id: str, report) -> None:
+        self.convergences += 1
+        if report.ok:
+            self.verify_ok += 1
+        else:
+            self.verify_failed += 1
+        if obs.REGISTRY.enabled:
+            obs.metric("tenancy_convergence_verifies_total").labels(
+                result="ok" if report.ok else "violations"
+            ).inc()
+
+    def _tenant_down(self, tenant_id: str) -> None:
+        if obs.REGISTRY.enabled:
+            obs.metric("tenancy_active_tenants").set(self.active_tenants())
+
+    # ------------------------------------------------------------------
+    # Cross-tenant isolation audit
+    # ------------------------------------------------------------------
+    def start(self, audit_interval: Optional[float] = None) -> None:
+        """Arm the periodic cross-tenant audit."""
+        interval = audit_interval or 0.25
+        if self._audit_timer is None:
+            self._audit_timer = self.sim.every(interval, self._audit, (interval,))
+
+    def stop(self) -> None:
+        if self._audit_timer is not None:
+            self._audit_timer.cancel()
+            self._audit_timer = None
+
+    def _audit(self, interval: float) -> None:
+        """One isolation tick: ledgers balanced, physical budgets hold."""
+        self.audit_ticks += 1
+        violated = self.arbiter.oversubscribed()
+        if not violated:
+            used: Dict[str, int] = {}
+            for worker in self.workers.values():
+                if worker.deployment is None:
+                    continue
+                for sw, c in worker.deployment.plan.cores_by_switch().items():
+                    used[sw] = used.get(sw, 0) + c
+            for sw, c in used.items():
+                if c > self.arbiter.physical.get(sw, 0):
+                    violated = True
+                    break
+        if violated:
+            self.cross_tenant_violation_seconds += interval
+            if obs.REGISTRY.enabled:
+                obs.metric(
+                    "tenancy_cross_tenant_violation_seconds_total"
+                ).inc(interval)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def active_tenants(self) -> int:
+        """Tenants with a live deployment or queued work."""
+        return sum(
+            1
+            for w in self.workers.values()
+            if w.fabric is not None or w.queue_depth() > 0
+        )
+
+    def total_drift(self) -> int:
+        """Desired-vs-installed drift summed across tenant fabrics."""
+        return sum(
+            w.fabric.drift_count()
+            for w in self.workers.values()
+            if w.fabric is not None
+        )
+
+    def waiting_intents(self) -> int:
+        """Intents not yet terminal (worker FIFOs + arbiter queue)."""
+        return sum(1 for r in self.bus.records if not r.terminal)
+
+    def state_signature(self) -> str:
+        """Deterministic digest of the whole platform's end state."""
+        payload = repr(
+            (
+                tuple(
+                    self.workers[t].signature() for t in sorted(self.workers)
+                ),
+                tuple(sorted(self.arbiter.free.items())),
+                tuple(
+                    (t, tuple(sorted(g.cores.items())))
+                    for t, g in sorted(self.arbiter.grants.items())
+                ),
+                tuple(
+                    (t, tuple(sorted(m.items())))
+                    for t, m in sorted(self.arbiter.steady.items())
+                ),
+                tuple(
+                    (t, tuple(sorted(m.items())))
+                    for t, m in sorted(self.arbiter.inflight.items())
+                ),
+                tuple(sorted(self.arbiter.tcam_used.items())),
+                tuple(sorted(self.outcomes.items())),
+                round(self.cross_tenant_violation_seconds, 9),
+            )
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+    def metrics_summary(self) -> Dict[str, float]:
+        """Deterministic run summary (experiment rows, bench entries)."""
+        lat = sorted(self.latencies)
+
+        def pct(p: float) -> float:
+            if not lat:
+                return 0.0
+            idx = min(len(lat) - 1, max(0, int(round(p * (len(lat) - 1)))))
+            return lat[idx]
+
+        return {
+            "intents": len(self.bus.records),
+            "completed": self.outcomes.get(COMPLETED, 0),
+            "rejected": self.outcomes.get("rejected", 0),
+            "failed": self.outcomes.get("failed", 0),
+            "waiting": self.waiting_intents(),
+            "queued_grants": self.arbiter.queued_total,
+            "convergences": self.convergences,
+            "verify_ok": self.verify_ok,
+            "verify_failed": self.verify_failed,
+            "latency_p50": round(pct(0.50), 9),
+            "latency_p99": round(pct(0.99), 9),
+            "cross_tenant_violation_seconds": round(
+                self.cross_tenant_violation_seconds, 9
+            ),
+            "drift": self.total_drift(),
+            "active_tenants": self.active_tenants(),
+            "granted_cores": self.arbiter.granted_cores(),
+            "tcam_entries": sum(self.arbiter.tcam_used.values()),
+        }

@@ -1,0 +1,314 @@
+"""The per-tenant lifecycle worker: one blueprint, one serialized queue.
+
+Each tenant's policy chains form a *blueprint*; its worker owns the only
+mutable copy and processes intents strictly one at a time (FIFO, one
+in-flight operation per tenant — the ePEM blueprint-LCM pattern ROADMAP
+item 3 names).  An operation runs the full APPLE pipeline against the
+tenant's capacity grant:
+
+    target class set → arbiter grant → Optimization Engine solve →
+    sub-class assignment → Rule Generator → southbound commit →
+    verify at convergence
+
+The worker's Optimization Engine is tenant-private, so warm-start
+templates cache per-blueprint structure: rate-only day-2 ops
+(``UpdateRates`` / ``ScaleChain``) re-solve through the Eq. 5 rate
+rewrite, not a fresh model build.
+
+Commits ride each tenant's own southbound fabric (PR 5): the day-0
+deployment installs directly and is *adopted* as epoch 0; every later
+change is a make-before-break transactional push, so independent tenants'
+epochs overlap freely on the shared timeline while each tenant's own ops
+stay serialized.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.controller import Deployment, UnknownClassError
+from repro.core.engine import OptimizationEngine, PlacementError
+from repro.core.rulegen import GeneratedRules, RuleGenerator
+from repro.core.subclasses import SubclassPlan, assign_subclasses
+from repro.core.verify import verify_deployment
+from repro.dataplane.network import DataPlaneNetwork
+from repro.sim.rng import derive
+from repro.southbound.fabric import SouthboundFabric
+from repro.tenancy.arbiter import Grant
+from repro.tenancy.intents import (
+    COMPLETED,
+    FAILED,
+    IN_PROGRESS,
+    REJECTED,
+    WAITING,
+    CreateChain,
+    DeleteChain,
+    IntentRecord,
+    IntentValidationError,
+    ScaleChain,
+    UpdateRates,
+)
+from repro.traffic.classes import TrafficClass
+from repro.vnf.chains import PolicyChain
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import cycle guard
+    from repro.core.placement import PlacementPlan
+    from repro.tenancy.orchestrator import TenantOrchestrator
+
+
+class TenantWorker:
+    """Serialized lifecycle executor for one tenant's blueprint."""
+
+    def __init__(self, tenant_id: str, orch: "TenantOrchestrator") -> None:
+        self.tenant_id = tenant_id
+        self.orch = orch
+        #: chain_id → desired TrafficClass (the committed blueprint).
+        self.chains: Dict[str, TrafficClass] = {}
+        self.queue: List[IntentRecord] = []
+        self.current: Optional[IntentRecord] = None
+        self.engine = OptimizationEngine(orch.catalog, orch.engine_config)
+        self.rulegen = RuleGenerator(orch.catalog)
+        self.network: Optional[DataPlaneNetwork] = None
+        self.fabric: Optional[SouthboundFabric] = None
+        self.deployment: Optional[Deployment] = None
+        self.ops_completed = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, record: IntentRecord) -> None:
+        """Enqueue one intent; starts immediately when the worker is idle."""
+        self.queue.append(record)
+        if self.current is None:
+            self._next()
+
+    def queue_depth(self) -> int:
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+    def _next(self) -> None:
+        if not self.queue:
+            return
+        self.current = self.queue.pop(0)
+        self._start(self.current)
+
+    # ------------------------------------------------------------------
+    def _start(self, record: IntentRecord) -> None:
+        record.started_at = self.orch.sim.now
+        record.status = IN_PROGRESS
+        try:
+            target = self._target_classes(record.intent)
+        except UnknownClassError as exc:
+            self._finish(record, FAILED, f"tenant-scoped miss: {exc}")
+            return
+        except (IntentValidationError, KeyError) as exc:
+            self._finish(record, FAILED, str(exc))
+            return
+        if target is None:  # DeleteChain removed the last chain
+            self._teardown(record)
+            return
+        status, grant = self.orch.arbiter.request(
+            self.tenant_id,
+            [target[k] for k in sorted(target)],
+            resume=lambda g, r=record, t=target: self._resume(r, t, g),
+        )
+        self.orch._note_grant(status)
+        if status == self.orch.arbiter.REJECTED:
+            self._finish(record, REJECTED, "exceeds physical capacity")
+        elif status == self.orch.arbiter.QUEUED:
+            record.status = WAITING
+        else:
+            self._execute(record, target, grant)
+
+    def _resume(
+        self, record: IntentRecord, target, grant: Optional[Grant]
+    ) -> None:
+        if grant is None:  # admission timeout: capacity never freed up
+            self._finish(record, REJECTED, "capacity admission timed out")
+            return
+        record.status = IN_PROGRESS
+        self._execute(record, target, grant)
+
+    # ------------------------------------------------------------------
+    def _target_classes(
+        self, intent
+    ) -> Optional[Dict[str, TrafficClass]]:
+        """The blueprint this intent asks for; None means full teardown."""
+        target = dict(self.chains)
+        if isinstance(intent, CreateChain):
+            if intent.chain_id in target:
+                raise IntentValidationError(
+                    f"chain {intent.chain_id!r} already exists for tenant "
+                    f"{self.tenant_id!r}"
+                )
+            target[intent.chain_id] = TrafficClass(
+                class_id=self._class_id(intent.chain_id),
+                src=intent.src,
+                dst=intent.dst,
+                path=self.orch.router.path(intent.src, intent.dst),
+                # PolicyChain raises KeyError on unknown NF types.
+                chain=PolicyChain(intent.chain, self.orch.catalog),
+                rate_mbps=intent.rate_mbps,
+            )
+        elif isinstance(intent, UpdateRates):
+            for chain_id, rate in intent.rates:
+                cls = self._require_chain(target, chain_id)
+                target[chain_id] = cls.with_rate(rate)
+        elif isinstance(intent, ScaleChain):
+            cls = self._require_chain(target, intent.chain_id)
+            target[intent.chain_id] = cls.with_rate(
+                cls.rate_mbps * intent.factor
+            )
+        elif isinstance(intent, DeleteChain):
+            self._require_chain(target, intent.chain_id)
+            del target[intent.chain_id]
+            if not target:
+                return None
+        else:
+            raise IntentValidationError(f"unknown intent kind {intent!r}")
+        return target
+
+    def _class_id(self, chain_id: str) -> str:
+        return f"{self.tenant_id}/{chain_id}"
+
+    def _require_chain(
+        self, target: Dict[str, TrafficClass], chain_id: str
+    ) -> TrafficClass:
+        try:
+            return target[chain_id]
+        except KeyError:
+            # Typed so callers can tell a tenant-scoped miss (this chain
+            # belongs to nobody, or to another tenant) from a mapping bug.
+            raise UnknownClassError(self._class_id(chain_id)) from None
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        record: IntentRecord,
+        target: Dict[str, TrafficClass],
+        grant: Grant,
+    ) -> None:
+        """Solve → sub-classes → rules → commit within one grant."""
+        classes = [target[k] for k in sorted(target)]
+        try:
+            plan = self.engine.place(classes, grant.cores)
+        except PlacementError as exc:
+            self.orch.arbiter.restore(self.tenant_id)
+            self._finish(record, FAILED, f"placement infeasible: {exc}")
+            return
+        subclass_plan = assign_subclasses(plan)
+        rules = self.rulegen.generate(plan.classes, subclass_plan)
+        tcam_entries = rules.classification_rule_count()
+        if not self.orch.arbiter.commit(
+            self.tenant_id, plan.cores_by_switch(), tcam_entries
+        ):
+            self.orch.arbiter.restore(self.tenant_id)
+            self._finish(record, REJECTED, "shared TCAM budget exhausted")
+            return
+
+        self.chains = dict(target)
+        if self.fabric is None:
+            self._deploy_initial(record, plan, subclass_plan, rules)
+        else:
+            self.fabric.push_desired(
+                rules,
+                plan.classes,
+                on_converged=lambda ev, r=record, p=plan, sp=subclass_plan,
+                ru=rules: self._converged(r, p, sp, ru),
+            )
+
+    def _deploy_initial(
+        self,
+        record: IntentRecord,
+        plan: "PlacementPlan",
+        subclass_plan: SubclassPlan,
+        rules: GeneratedRules,
+    ) -> None:
+        """Day-0: direct install, then adopt as the fabric's epoch 0."""
+        sim = self.orch.sim
+        self.network = DataPlaneNetwork(self.orch.topo)
+        instances = self.rulegen.install(
+            rules, self.network, plan.classes, sim=sim
+        )
+        fabric = SouthboundFabric(
+            sim,
+            self.network,
+            seed=derive(self.orch.seed, f"tenancy.sb.{self.tenant_id}"),
+            rulegen=self.rulegen,
+            config=self.orch.channel_config,
+        )
+        fabric.adopt(rules, plan.classes, instances)
+        fabric.start()
+        self.fabric = fabric
+        self._converged(record, plan, subclass_plan, rules)
+
+    def _converged(
+        self,
+        record: IntentRecord,
+        plan: "PlacementPlan",
+        subclass_plan: SubclassPlan,
+        rules: GeneratedRules,
+    ) -> None:
+        """The epoch reached zero drift: audit it, then admit the next op."""
+        # The old epoch is off the wire — release its share of the pool.
+        self.orch.arbiter.settle(self.tenant_id)
+        self.deployment = Deployment(
+            plan,
+            subclass_plan,
+            rules,
+            self.network,
+            dict(self.fabric.instances),
+        )
+        report = verify_deployment(self.deployment, self.orch.topo)
+        self.orch._note_verify(self.tenant_id, report)
+        if report.ok:
+            self._finish(record, COMPLETED)
+        else:
+            self._finish(record, FAILED, f"verify: {report.summary()}")
+
+    def _teardown(self, record: IntentRecord) -> None:
+        """The last chain was deleted: release everything the tenant holds."""
+        if self.fabric is not None:
+            self.fabric.stop()
+        self.chains = {}
+        self.deployment = None
+        self.network = None
+        self.fabric = None
+        self.orch.arbiter.release(self.tenant_id)
+        self.orch._tenant_down(self.tenant_id)
+        self._finish(record, COMPLETED)
+
+    def _finish(self, record: IntentRecord, status: str, detail: str = "") -> None:
+        record.status = status
+        record.detail = detail
+        record.completed_at = self.orch.sim.now
+        if status == COMPLETED:
+            self.ops_completed += 1
+        self.orch._intent_done(record)
+        self.current = None
+        self._next()
+
+    # ------------------------------------------------------------------
+    def signature(self) -> Tuple:
+        """Deterministic digest of this tenant's end state.
+
+        Digests the installed wire state (epoch + rules + instances), not
+        the fabric's timing ledger: *when* an epoch converged depends on
+        cross-tenant interleaving, *what* converged must not.
+        """
+        chains = tuple(
+            (cid, c.path, tuple(c.chain), round(c.rate_mbps, 9))
+            for cid, c in sorted(self.chains.items())
+        )
+        if self.fabric is None:
+            fabric_sig = None
+        else:
+            state = json.loads(self.fabric.state_signature())
+            fabric_sig = json.dumps(
+                {k: state[k] for k in ("epoch", "converged_epoch", "installed")},
+                sort_keys=True,
+            )
+        plan_sig = (
+            None
+            if self.deployment is None
+            else tuple(sorted(self.deployment.plan.quantities.items()))
+        )
+        return (self.tenant_id, chains, fabric_sig, plan_sig)
