@@ -1,0 +1,75 @@
+"""Elastic autoscaling benchmarks: flash crowds across seeds and amplitudes.
+
+The acceptance sweep for the elastic loop, recorded to the
+``BENCH_elastic.json`` trajectory:
+
+* **Seed x amplitude grid** — 3 seeds x 3 spike amplitudes, each a full
+  flash-crowd run (spikes, scale-out/in, drain, admission control).
+  Every cell must satisfy the interference-freedom bar: **zero
+  policy-violation-seconds** (shedding quarantines at the ingress, it
+  never misroutes), bounded time-to-absorb (no spike left unabsorbed),
+  zero final rule drift, and Verify OK at every epoch convergence.
+* **Same-cell bit-identity** — one cell rerun end to end produces the
+  identical (metrics, chaos, schedule) signature.
+
+Validate the trajectory with ``python -m repro.obs.validate
+BENCH_elastic.json``.
+"""
+
+import time
+
+from repro.experiments.flash_crowd import FULL_AMPLITUDES, _flash_row
+
+SEEDS = (0, 1, 2)
+AMPLITUDES = FULL_AMPLITUDES  # (2.0, 4.0, 8.0)
+
+# _flash_row column indices (see repro.experiments.flash_crowd.run).
+_OUT, _IN, _DRAINED, _SHED = 2, 3, 5, 7
+_SLO_VIOL, _ABSORB, _PV, _DRIFT, _VERIFY = 8, 9, 11, 12, 13
+
+
+def _assert_invariants(row: list, seed: int, amplitude: float) -> None:
+    cell = f"seed {seed}, {amplitude:.0f}x"
+    assert row[_PV] == 0.0, (
+        f"{cell}: policy-violation-seconds {row[_PV]} != 0 — shedding must "
+        "quarantine, never misroute"
+    )
+    assert row[_ABSORB] != "unbounded", f"{cell}: a spike was never absorbed"
+    assert row[_DRIFT] == 0, f"{cell}: final rule drift {row[_DRIFT]} != 0"
+    assert row[_VERIFY] == "OK", f"{cell}: verification failed"
+
+
+def test_flash_crowd_grid(record_bench_elastic):
+    """3 seeds x 3 amplitudes; invariants hold in every cell."""
+    metrics = {"seeds": list(SEEDS), "amplitudes": list(AMPLITUDES)}
+    for seed in SEEDS:
+        for amplitude in AMPLITUDES:
+            started = time.perf_counter()
+            row, sig = _flash_row(amplitude, seed=seed)
+            wall = time.perf_counter() - started
+            _assert_invariants(row, seed, amplitude)
+            prefix = f"s{seed}_a{amplitude:.0f}x"
+            metrics[f"{prefix}_scale_out"] = int(row[_OUT])
+            metrics[f"{prefix}_scale_in"] = int(row[_IN])
+            metrics[f"{prefix}_drained"] = int(row[_DRAINED])
+            metrics[f"{prefix}_shed"] = int(row[_SHED])
+            metrics[f"{prefix}_slo_violation_s"] = float(row[_SLO_VIOL])
+            metrics[f"{prefix}_absorb_s"] = float(row[_ABSORB])
+            metrics[f"{prefix}_pv_seconds"] = float(row[_PV])
+            metrics[f"{prefix}_wall_s"] = round(wall, 3)
+            metrics[f"{prefix}_signature"] = sig
+    record_bench_elastic("elastic_flash_crowd_grid", metrics)
+
+
+def test_same_cell_bit_identical(record_bench_elastic):
+    """One cell rerun end to end: identical run signatures."""
+    seed, amplitude = 0, AMPLITUDES[-1]
+    _, sig_a = _flash_row(amplitude, seed=seed)
+    _, sig_b = _flash_row(amplitude, seed=seed)
+    assert sig_a == sig_b, (
+        f"seed {seed} @ {amplitude:.0f}x reruns diverged: {sig_a} != {sig_b}"
+    )
+    record_bench_elastic(
+        "elastic_same_seed_bit_identity",
+        {"seed": seed, "amplitude": amplitude, "signature": sig_a},
+    )

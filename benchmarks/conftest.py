@@ -12,8 +12,9 @@ files with ``python -m repro.obs.validate BENCH_engine.json``.
 ``record_bench`` targets ``BENCH_engine.json``, ``record_bench_dataplane``
 ``BENCH_dataplane.json``, ``record_bench_chaos`` ``BENCH_chaos.json``,
 ``record_bench_southbound`` ``BENCH_southbound.json``,
-``record_bench_scale`` ``BENCH_scale.json``, and ``record_bench_tenancy``
-``BENCH_tenancy.json``.
+``record_bench_scale`` ``BENCH_scale.json``, ``record_bench_tenancy``
+``BENCH_tenancy.json``, and ``record_bench_elastic``
+``BENCH_elastic.json``.
 """
 
 import json
@@ -30,6 +31,7 @@ BENCH_CHAOS_FILE = _ROOT / "BENCH_chaos.json"
 BENCH_SOUTHBOUND_FILE = _ROOT / "BENCH_southbound.json"
 BENCH_SCALE_FILE = _ROOT / "BENCH_scale.json"
 BENCH_TENANCY_FILE = _ROOT / "BENCH_tenancy.json"
+BENCH_ELASTIC_FILE = _ROOT / "BENCH_elastic.json"
 
 
 def report(result) -> None:
@@ -97,3 +99,9 @@ def record_bench_scale():
 def record_bench_tenancy():
     """Same appender, targeting ``BENCH_tenancy.json``."""
     return _appender(BENCH_TENANCY_FILE)
+
+
+@pytest.fixture(scope="session")
+def record_bench_elastic():
+    """Same appender, targeting ``BENCH_elastic.json``."""
+    return _appender(BENCH_ELASTIC_FILE)

@@ -184,3 +184,37 @@ class PlacementPlan:
                         f"{avail_mem} GB available"
                     )
         return problems
+
+
+@dataclass(frozen=True)
+class PlanDelta:
+    """The instance-slot difference between two placement plans.
+
+    The elastic loop uses this to report what a scale action actually
+    changed: ``added`` slots are materialized by the fabric's next push,
+    ``retired`` slots are drained at that push's convergence.
+    """
+
+    added: Tuple[str, ...]
+    retired: Tuple[str, ...]
+    core_delta: int
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.added and not self.retired
+
+
+def diff_plans(old: PlacementPlan, new: PlacementPlan) -> PlanDelta:
+    """Slot-level diff ``old -> new``, keyed by :attr:`InstanceRef.key`.
+
+    Slot keys are deterministic (sorted (switch, nf), index-packed), so
+    shrinking a quantity retires the highest indices first — exactly the
+    keys the southbound drain will stop referencing.
+    """
+    old_keys = {ref.key for ref in old.instance_refs()}
+    new_keys = {ref.key for ref in new.instance_refs()}
+    return PlanDelta(
+        added=tuple(sorted(new_keys - old_keys)),
+        retired=tuple(sorted(old_keys - new_keys)),
+        core_delta=new.total_cores() - old.total_cores(),
+    )

@@ -1,0 +1,72 @@
+"""Elastic VNF autoscaling + flash-crowd admission control (ROADMAP item 4).
+
+The package treats orchestration as a continuous loop (Bari et al.): a
+seeded, pure decision core — utilization snapshots, hysteresis bands, a
+cheapest-first admission oracle (Sallam et al.'s SFC-constrained
+max-flow, greedy form) — wrapped by :class:`ElasticController`, which
+executes decisions as warm-start re-placements pushed make-before-break
+through the PR 5 southbound fabric.
+
+Module map:
+
+- :mod:`repro.elastic.slo` — per-tenant SLO classes (weight = shed cost).
+- :mod:`repro.elastic.monitor` — pure per-NF utilization snapshots.
+- :mod:`repro.elastic.hysteresis` — dwell-counted scale-out/in bands.
+- :mod:`repro.elastic.admission` — cheapest-first degrade/shed oracle.
+- :mod:`repro.elastic.metrics` — tick/action ledger + time-to-absorb.
+- :mod:`repro.elastic.loop` — the controller that ties them together.
+"""
+
+from repro.elastic.admission import (
+    ADMIT,
+    DEGRADE,
+    SHED,
+    AdmissionDecision,
+    AdmissionPlan,
+    admission_control,
+    shed_order,
+)
+from repro.elastic.hysteresis import (
+    HOLD,
+    SCALE_IN,
+    SCALE_OUT,
+    HysteresisConfig,
+    HysteresisState,
+    decide,
+)
+from repro.elastic.loop import ElasticConfig, ElasticController
+from repro.elastic.metrics import ElasticMetrics, ElasticTick, ScaleAction
+from repro.elastic.monitor import UtilizationSnapshot, utilization_snapshot
+from repro.elastic.slo import (
+    DEFAULT_SLO,
+    SLO_CLASSES,
+    SLOClass,
+    assign_slo_classes,
+)
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionDecision",
+    "AdmissionPlan",
+    "admission_control",
+    "shed_order",
+    "HOLD",
+    "SCALE_IN",
+    "SCALE_OUT",
+    "HysteresisConfig",
+    "HysteresisState",
+    "decide",
+    "ElasticConfig",
+    "ElasticController",
+    "ElasticMetrics",
+    "ElasticTick",
+    "ScaleAction",
+    "UtilizationSnapshot",
+    "utilization_snapshot",
+    "DEFAULT_SLO",
+    "SLO_CLASSES",
+    "SLOClass",
+    "assign_slo_classes",
+]

@@ -1,0 +1,87 @@
+"""Hysteresis bands with dwell counters — the anti-flap core.
+
+Bari et al.'s dynamic orchestration scales when utilization crosses a
+watermark, but naive threshold triggers flap: a scale-out that lands
+utilization just under the high watermark is one noisy sample away from
+an immediate scale-in.  Two mechanisms make this loop structurally
+flap-free:
+
+1. **Separated bands with dwell.**  Scale-out requires ``up_dwell``
+   consecutive ticks above ``high_watermark``; scale-in requires
+   ``down_dwell`` consecutive ticks below ``low_watermark``.  Any tick
+   in the dead band between the watermarks resets both counters.
+2. **Target re-planning.**  Every action re-places for
+   ``offered / target_utilization`` with ``low < target < high``, so
+   the post-action utilization lands in the dead band by construction
+   — on unchanged load, the very next decision is HOLD, never the
+   opposite action.  The property test in
+   ``tests/test_elastic_prop.py`` pins this.
+
+``decide`` is a pure function of (config, state, utilization); the
+loop threads the returned state through successive ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HOLD = "hold"
+SCALE_OUT = "scale_out"
+SCALE_IN = "scale_in"
+
+
+@dataclass(frozen=True)
+class HysteresisConfig:
+    """Watermarks and dwell requirements for the scaling decision.
+
+    Invariant (checked): ``low_watermark < target_utilization <
+    high_watermark`` — the re-plan target must land inside the dead
+    band or the loop could flap.
+    """
+
+    high_watermark: float = 0.85
+    low_watermark: float = 0.45
+    target_utilization: float = 0.65
+    up_dwell: int = 2
+    down_dwell: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_watermark < self.target_utilization < self.high_watermark:
+            raise ValueError(
+                "need 0 < low_watermark < target_utilization < high_watermark"
+            )
+        if self.up_dwell < 1 or self.down_dwell < 1:
+            raise ValueError("dwell counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class HysteresisState:
+    """Consecutive-tick counters; thread through successive ``decide`` calls."""
+
+    above: int = 0
+    below: int = 0
+
+
+def decide(
+    config: HysteresisConfig,
+    state: HysteresisState,
+    utilization: float,
+) -> "tuple[str, HysteresisState]":
+    """One hysteresis step: (action, next state).
+
+    Returns HOLD until a watermark has been breached for the configured
+    dwell; an action resets both counters (the re-plan changes capacity,
+    so stale counts must not carry over).
+    """
+    if utilization > config.high_watermark:
+        above = state.above + 1
+        if above >= config.up_dwell:
+            return SCALE_OUT, HysteresisState()
+        return HOLD, HysteresisState(above=above, below=0)
+    if utilization < config.low_watermark:
+        below = state.below + 1
+        if below >= config.down_dwell:
+            return SCALE_IN, HysteresisState()
+        return HOLD, HysteresisState(above=0, below=below)
+    # Dead band: reset both dwell counters.
+    return HOLD, HysteresisState()

@@ -1,0 +1,328 @@
+"""The elastic control loop: observe → decide → re-place → push → drain.
+
+:class:`ElasticController` is the executive around the pure decision
+core.  Each tick it reads offered load (a seeded pure function of sim
+time), computes a :class:`~repro.elastic.monitor.UtilizationSnapshot`
+against the *deployed* plan, and feeds the bottleneck utilization
+through the hysteresis bands.  An action re-runs admission control over
+the full offered demand, warm-start re-places the admitted classes at
+``offered / target_utilization`` (so post-action utilization lands in
+the hysteresis dead band), and pushes the new rules make-before-break
+through the southbound fabric.  At epoch convergence the fabric drains
+instances the new plan no longer references, the controller's
+deployment is swapped, and — optionally — ``verify_deployment`` audits
+the result, exactly like the chaos recovery path.
+
+Shed flows go through the same ingress-quarantine mechanism chaos
+recovery uses for stranded classes: their rules are withdrawn and a
+DROP guards their ingress, so probes against them black-hole (counted
+as downtime by the chaos probe loop) instead of traversing a policy
+chain partially — which is how a run that sheds under a flash crowd
+still reports **zero policy-violation-seconds**.
+
+Determinism: offered load is a pure function of (seed, time); the
+decision core is pure in (config, snapshot); placement is the seeded
+warm-start engine.  Reruns with the same seed are bit-identical, and a
+disabled loop (``ElasticConfig(enabled=False)``) never arms its timer,
+leaving existing scenarios byte-for-byte unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Set
+
+from repro.core.controller import AppleController, Deployment
+from repro.core.engine import PlacementError
+from repro.core.placement import diff_plans
+from repro.core.subclasses import assign_subclasses
+from repro.core.verify import verify_deployment
+from repro.elastic.admission import admission_control
+from repro.elastic.hysteresis import (
+    HOLD,
+    HysteresisConfig,
+    HysteresisState,
+    decide,
+)
+from repro.elastic.metrics import ElasticMetrics, ElasticTick, ScaleAction
+from repro.elastic.monitor import UtilizationSnapshot, utilization_snapshot
+from repro.elastic.slo import DEFAULT_SLO, SLOClass
+from repro.sim.kernel import Simulator, Timer
+from repro.southbound.fabric import SouthboundFabric
+from repro.southbound.metrics import EpochConvergence
+from repro.traffic.classes import TrafficClass
+
+
+@dataclass
+class ElasticConfig:
+    """Knobs for the scaling loop.
+
+    Attributes:
+        enabled: when False the loop never arms its timer — existing
+            scenarios replay bit-identically.
+        interval: seconds between control ticks.
+        hysteresis: watermark/dwell configuration.
+        slo_ceiling: utilization above which a tick counts toward
+            ``slo_violation_seconds`` (1.0 = demand exceeded the
+            planned, headroom-derated capacity).
+        verify_each_convergence: audit the deployment after every
+            scale action converges.
+    """
+
+    enabled: bool = True
+    interval: float = 0.5
+    hysteresis: HysteresisConfig = field(default_factory=HysteresisConfig)
+    slo_ceiling: float = 1.0
+    verify_each_convergence: bool = True
+
+
+class ElasticController:
+    """SLO-driven scale-out/in + admission control over one deployment.
+
+    Args:
+        sim: the shared simulator (also driving the fabric and chaos).
+        controller: the APPLE controller owning the deployment; its
+            engine provides warm-start re-placement, its rule generator
+            the delta rules.
+        fabric: the southbound fabric (constructed with
+            ``drain_retired=True`` so scale-in actually retires
+            instances at convergence).
+        offered_fn: pure function ``sim time -> offered Mbps per class
+            id`` (baseline × flash-crowd multiplier).
+        slo_map: SLO class per class id; absent ids get
+            :data:`~repro.elastic.slo.DEFAULT_SLO`.
+        config: loop configuration.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: AppleController,
+        fabric: SouthboundFabric,
+        offered_fn: Callable[[float], Mapping[str, float]],
+        slo_map: Optional[Mapping[str, SLOClass]] = None,
+        config: Optional[ElasticConfig] = None,
+    ) -> None:
+        if controller.deployment is None:
+            raise ValueError("controller has no deployment to scale")
+        self.sim = sim
+        self.controller = controller
+        self.fabric = fabric
+        self.offered_fn = offered_fn
+        self.config = config or ElasticConfig()
+        self.catalog = controller.catalog
+        self.headroom = controller.engine.config.capacity_headroom
+        #: The full class population at baseline rates — admission
+        #: always re-decides over this set, so shed flows are
+        #: re-admitted as soon as capacity allows.
+        self.base: Dict[str, TrafficClass] = {
+            c.class_id: c for c in controller.deployment.plan.classes
+        }
+        self.slo_map: Dict[str, SLOClass] = {
+            cid: (slo_map or {}).get(cid, DEFAULT_SLO) for cid in self.base
+        }
+        self.available_cores = controller.available_cores()
+        self.available_memory = controller.available_memory_gb()
+        self.total_cores = sum(self.available_cores.values())
+
+        self.plan = controller.deployment.plan
+        self.state = HysteresisState()
+        self.shed_ids: Set[str] = set()
+        self.degraded_caps: Dict[str, float] = {}
+        self.metrics = ElasticMetrics(self.config.interval)
+        self._pending: Optional[ScaleAction] = None
+        self._timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic control tick (no-op when disabled)."""
+        if self.config.enabled and self._timer is None:
+            self._timer = self.sim.every(self.config.interval, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # The control tick
+    # ------------------------------------------------------------------
+    def admitted_load(self, offered: Mapping[str, float]) -> Dict[str, float]:
+        """Offered load after the current admission verdicts.
+
+        Shed classes contribute nothing; degraded classes are capped at
+        their admitted rate.
+        """
+        load: Dict[str, float] = {}
+        for cid in self.base:
+            if cid in self.shed_ids:
+                continue
+            rate = float(offered.get(cid, 0.0))
+            cap = self.degraded_caps.get(cid)
+            load[cid] = min(rate, cap) if cap is not None else rate
+        return load
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        offered = self.offered_fn(now)
+        load = self.admitted_load(offered)
+        snap = utilization_snapshot(
+            now, self.plan, load, self.catalog, self.headroom
+        )
+        busy = (
+            self._pending is not None
+            or self.fabric.converged_epoch < self.fabric.epoch
+        )
+        action = "busy" if busy else HOLD
+        if not busy:
+            action, self.state = decide(
+                self.config.hysteresis, self.state, snap.max_utilization
+            )
+            if action != HOLD:
+                self._act(action, offered, snap)
+        self.metrics.record_tick(
+            ElasticTick(
+                time=round(now, 6),
+                max_utilization=round(snap.max_utilization, 6),
+                offered_mbps=snap.offered_mbps,
+                action=action,
+                in_flight=busy or action != HOLD,
+                slo_violated=snap.max_utilization > self.config.slo_ceiling,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Feasibility (the closed-form bound the oracle consults)
+    # ------------------------------------------------------------------
+    def _fits(self, admitted: Mapping[str, float]) -> bool:
+        """Fluid lower bound on the cores a re-placement would need.
+
+        Aggregates demand per NF type and charges ``ceil(demand /
+        effective capacity)`` instances — it ignores per-switch packing,
+        so it under-estimates the exact ILP's need.  That is the right
+        direction: admission sheds minimally, and ``engine.place``
+        remains the authoritative oracle (a ``PlacementError`` bumps
+        ``extra_shed`` and re-runs the oracle).
+        """
+        target = self.config.hysteresis.target_utilization
+        demand: Dict[str, float] = {}
+        for cid, rate in admitted.items():
+            if rate <= 0:
+                continue
+            planning = rate / target
+            for nf_name in self.base[cid].chain:
+                demand[nf_name] = demand.get(nf_name, 0.0) + planning
+        need = 0
+        for nf_name, nf_demand in demand.items():
+            spec = self.catalog.get(nf_name)
+            cap = spec.capacity_mbps * self.headroom
+            need += max(1, math.ceil(nf_demand / cap - 1e-9)) * spec.cores
+        return need <= self.total_cores
+
+    # ------------------------------------------------------------------
+    # Action execution
+    # ------------------------------------------------------------------
+    def _act(
+        self,
+        direction: str,
+        offered: Mapping[str, float],
+        snap: UtilizationSnapshot,
+    ) -> None:
+        engine = self.controller.engine
+        target = self.config.hysteresis.target_utilization
+        extra = 0
+        while True:
+            admission = admission_control(
+                sorted(self.base),
+                offered,
+                self.slo_map,
+                self._fits,
+                extra_shed=extra,
+            )
+            planning = {
+                cid: rate / target
+                for cid, rate in admission.admitted_rates().items()
+            }
+            if not planning:
+                self.metrics.placement_failures += 1
+                return
+            plan_classes = [
+                self.base[cid].with_rate(planning[cid]) for cid in sorted(planning)
+            ]
+            warm_before = engine.warm_solves
+            try:
+                plan = engine.place(
+                    plan_classes,
+                    self.available_cores,
+                    available_memory_gb=self.available_memory,
+                )
+                break
+            except PlacementError:
+                # The exact ILP overruled the fluid bound: shed the next
+                # victim (same canonical order) and try again.
+                self.metrics.placement_failures += 1
+                extra += 1
+                if extra > len(self.base):
+                    return
+
+        warm = engine.warm_solves > warm_before
+        if warm:
+            self.metrics.resolves_warm += 1
+        else:
+            self.metrics.resolves_cold += 1
+
+        subclass_plan = assign_subclasses(plan)
+        rules = self.controller.rule_generator.generate(plan.classes, subclass_plan)
+        delta = diff_plans(self.plan, plan)
+        shed = admission.shed_ids()
+        stranded = {cid: self.base[cid].src for cid in shed}
+        admitted_n, degraded_n, shed_n = admission.counts()
+        action = ScaleAction(
+            time=round(self.sim.now, 6),
+            direction=direction,
+            trigger_utilization=round(snap.max_utilization, 6),
+            classes=len(plan_classes),
+            admitted=admitted_n,
+            degraded=degraded_n,
+            shed=shed_n,
+            planned_instances=plan.total_instances(),
+            planned_cores=plan.total_cores(),
+            warm=warm,
+            added=len(delta.added),
+            retired=len(delta.retired),
+        )
+        self._pending = action
+        drained_before = self.fabric.drained_total
+
+        def _converged(conv: EpochConvergence) -> None:
+            self.plan = plan
+            self.shed_ids = set(shed)
+            self.degraded_caps = admission.degraded_caps()
+            self.controller.deployment = Deployment(
+                plan,
+                subclass_plan,
+                rules,
+                self.fabric.network,
+                dict(self.fabric.instances),
+            )
+            action.epoch = conv.epoch
+            action.converged_at = round(conv.converged_at, 6)
+            action.drained = self.fabric.drained_total - drained_before
+            if self.config.verify_each_convergence:
+                report = verify_deployment(
+                    self.controller.deployment, self.controller.topo
+                )
+                action.verify_ok = report.ok
+            self.metrics.record_action(action)
+            self._pending = None
+
+        self.fabric.push_desired(
+            rules,
+            plan.classes,
+            stranded=stranded,
+            on_converged=_converged,
+        )

@@ -1,0 +1,62 @@
+"""SLO classes — the price tags admission control reads.
+
+Every traffic class carries an SLO class; the admission oracle sheds in
+ascending ``(weight, offered rate, class id)`` order, so ``weight`` is
+literally the cost of dropping a flow.  ``degrade_floor`` is the
+fraction of offered rate a flow keeps when rate-degraded instead of
+shed (Sallam et al.'s partial-admission knob), and ``priority`` feeds
+the tenancy arbiter's admission queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """A named service level with a shed cost and a degrade floor.
+
+    Attributes:
+        name: stable identifier ("gold" / "silver" / "bronze").
+        weight: shed cost; higher weights are shed last.
+        degrade_floor: fraction of offered rate kept when degraded
+            (1.0 = never degraded below full rate, 0.0 = may be
+            degraded to nothing before shedding).
+        priority: tenancy-arbiter queue priority (higher drains first).
+    """
+
+    name: str
+    weight: float
+    degrade_floor: float
+    priority: int
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not 0.0 <= self.degrade_floor <= 1.0:
+            raise ValueError("degrade_floor must be in [0, 1]")
+
+
+GOLD = SLOClass(name="gold", weight=3.0, degrade_floor=1.0, priority=2)
+SILVER = SLOClass(name="silver", weight=2.0, degrade_floor=0.5, priority=1)
+BRONZE = SLOClass(name="bronze", weight=1.0, degrade_floor=0.25, priority=0)
+
+#: All SLO classes by name (gold is never degraded, only shed as a last
+#: resort; bronze is the first victim).
+SLO_CLASSES: Dict[str, SLOClass] = {s.name: s for s in (GOLD, SILVER, BRONZE)}
+
+#: The SLO a class gets when nothing assigns one explicitly.
+DEFAULT_SLO = SILVER
+
+
+def assign_slo_classes(class_ids: Sequence[str]) -> Dict[str, SLOClass]:
+    """Deterministic round-robin SLO assignment over sorted class ids.
+
+    Pure in the class-id set: gold/silver/bronze rotate over the sorted
+    ids, so every rerun (and every iteration order) produces the same
+    mapping without consuming any RNG stream.
+    """
+    tiers = (GOLD, SILVER, BRONZE)
+    return {cid: tiers[i % len(tiers)] for i, cid in enumerate(sorted(set(class_ids)))}

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List
 from repro import obs
 from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12
 from repro.experiments import failure_recovery, failure_sweep, packet_replay
-from repro.experiments import multi_tenant, scale_sweep, southbound_chaos
+from repro.experiments import flash_crowd, multi_tenant, scale_sweep, southbound_chaos
 from repro.experiments import table1, table4, table5
 from repro.experiments.harness import (
     ExperimentResult,
@@ -41,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "southbound_chaos": southbound_chaos.run,
     "scale_sweep": scale_sweep.run,
     "multi_tenant": multi_tenant.run,
+    "flash_crowd": flash_crowd.run,
     "table1": table1.run,
     "table4": table4.run,
     "table5": table5.run,
@@ -57,7 +58,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 _QUICKABLE = {
     "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "packet_replay", "failure_recovery", "failure_sweep",
-    "southbound_chaos", "scale_sweep", "multi_tenant",
+    "southbound_chaos", "scale_sweep", "multi_tenant", "flash_crowd",
 }
 
 #: Experiments whose run() accepts a jobs flag (process fan-out over
@@ -67,7 +68,7 @@ _JOBSABLE = {"fig12", "table5", "failure_recovery", "failure_sweep",
 
 #: Experiments whose run() accepts a seed (deterministic chaos runs).
 _SEEDABLE = {"failure_recovery", "southbound_chaos", "scale_sweep",
-             "multi_tenant"}
+             "multi_tenant", "flash_crowd"}
 
 #: Experiments whose run() accepts a batch size (packets per simulator
 #: event through the data-plane fast path).
@@ -114,8 +115,12 @@ def main(argv: List[str] = None) -> int:
         nargs="*",
         type=normalize_name,
         choices=sorted(EXPERIMENTS) + [[]],
-        help="subset to run (default: all); hyphens and underscores are "
-        "interchangeable (failure-recovery == failure_recovery)",
+        metavar="EXPERIMENT",
+        help="subset to run (default: all): "
+        f"{', '.join(display_name(n) for n in sorted(EXPERIMENTS))}; "
+        "hyphens and underscores are interchangeable — every name is "
+        "folded through harness.normalize_name, the single source of "
+        "experiment-name spelling (see EXPERIMENTS.md)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smoke-scale parameters"
@@ -126,7 +131,7 @@ def main(argv: List[str] = None) -> int:
         default=0,
         metavar="N",
         help="run seed for seeded experiments "
-        f"({', '.join(sorted(_SEEDABLE))}); same seed, same fault "
+        f"({', '.join(display_name(n) for n in sorted(_SEEDABLE))}); same seed, same fault "
         "schedule and recovery timeline, bit for bit",
     )
     parser.add_argument(
@@ -135,7 +140,7 @@ def main(argv: List[str] = None) -> int:
         default=1,
         metavar="N",
         help="worker processes for experiments with independent rows "
-        f"({', '.join(sorted(_JOBSABLE))}); default 1 (serial); 'auto' "
+        f"({', '.join(display_name(n) for n in sorted(_JOBSABLE))}); default 1 (serial); 'auto' "
         "measures the first row's cost and fans out only when a pool "
         "pays for itself (never slower than serial)",
     )
@@ -145,7 +150,7 @@ def main(argv: List[str] = None) -> int:
         default=1,
         metavar="K",
         help="packets per simulator event for experiments with a batched "
-        f"data-plane path ({', '.join(sorted(_BATCHABLE))}); default 1 "
+        f"data-plane path ({', '.join(display_name(n) for n in sorted(_BATCHABLE))}); default 1 "
         "(event per packet); results are identical either way",
     )
     parser.add_argument(
@@ -154,7 +159,7 @@ def main(argv: List[str] = None) -> int:
         default=0,
         metavar="N",
         help="shards for experiments with a sharded data-plane path "
-        f"({', '.join(sorted(_SHARDABLE))}); default 0 (off); 'auto' "
+        f"({', '.join(display_name(n) for n in sorted(_SHARDABLE))}); default 0 (off); 'auto' "
         "derives the count from cores and flow components; results are "
         "bit-identical at any count",
     )

@@ -75,6 +75,9 @@ def generate_intents(
     out: List[Tuple[float, Intent]] = []
     for i in range(tenants):
         tenant = f"t{i:04d}"
+        # SLO tier rotates by tenant index (no RNG draw — the schedule
+        # stays bit-identical to the pre-SLO generator).
+        slo = ("gold", "silver", "bronze")[i % 3]
         arrival = rng.uniform(0.0, ARRIVAL_WINDOW)
         live: List[str] = []
         n_chains = rng.integer(1, 3)  # 1-2 chains at day 0
@@ -93,6 +96,7 @@ def generate_intents(
                         dst=dst,
                         chain=chain,
                         rate_mbps=round(rate, 3),
+                        slo=slo,
                     ),
                 )
             )

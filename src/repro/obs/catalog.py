@@ -160,6 +160,23 @@ CATALOG: Tuple[MetricDef, ...] = (
               ("result",)),
     MetricDef("counter", "tenancy_cross_tenant_violation_seconds_total",
               "Audit intervals with a cross-tenant isolation violation"),
+    # ------------------------------------------------------------ elastic
+    MetricDef("counter", "elastic_ticks_total",
+              "Control-loop observation ticks"),
+    MetricDef("counter", "elastic_scale_actions_total",
+              "Executed scaling decisions by direction", ("direction",)),
+    MetricDef("counter", "elastic_resolves_total",
+              "Re-placements run by scale actions", ("warm",)),
+    MetricDef("counter", "elastic_instances_drained_total",
+              "Retired instances shut down at epoch convergence"),
+    MetricDef("gauge", "elastic_utilization",
+              "Per-NF utilization at the final control tick", ("nf",)),
+    MetricDef("counter", "elastic_slo_violation_seconds_total",
+              "Sim seconds the bottleneck NF exceeded the SLO ceiling"),
+    MetricDef("counter", "elastic_admission_decisions_total",
+              "Admission-oracle verdicts across scale actions", ("action",)),
+    MetricDef("histogram", "elastic_time_to_absorb_seconds",
+              "Spike start -> back under the high watermark, converged"),
     # ---------------------------------------------------------- simulator
     MetricDef("counter", "sim_events_fired_total",
               "Events executed by the most recent simulator run (collected)"),

@@ -10,7 +10,7 @@ component (documented in ``docs/OBSERVABILITY.md``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.obs import state
 from repro.obs.state import metric as _metric
@@ -19,6 +19,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.chaos.metrics import ChaosMetrics
     from repro.core.engine import OptimizationEngine
     from repro.dataplane.network import DataPlaneNetwork
+    from repro.elastic.metrics import ElasticMetrics
+    from repro.elastic.monitor import UtilizationSnapshot
     from repro.southbound.metrics import SouthboundMetrics
 
 
@@ -120,6 +122,57 @@ def collect_southbound(metrics: "SouthboundMetrics") -> None:
     _metric("southbound_reconcile_repairs_total").set_total(
         metrics.reconcile_repairs
     )
+
+
+def collect_elastic(
+    metrics: "ElasticMetrics",
+    snapshot: Optional["UtilizationSnapshot"] = None,
+    absorb_seconds: Sequence[float] = (),
+) -> None:
+    """Elastic-loop ledger → registry (called at run finalization).
+
+    Args:
+        snapshot: the final control tick's utilization view; exported as
+            the ``elastic_utilization`` gauge per NF.
+        absorb_seconds: per-spike time-to-absorb samples (unabsorbed
+            spikes are the caller's problem to report — ``None`` entries
+            must be filtered out before calling).
+    """
+    if not state.REGISTRY.enabled:
+        return
+    _metric("elastic_ticks_total").set_total(metrics.ticks_total)
+    _metric("elastic_scale_actions_total").labels(direction="out").set_total(
+        metrics.scale_out_total
+    )
+    _metric("elastic_scale_actions_total").labels(direction="in").set_total(
+        metrics.scale_in_total
+    )
+    _metric("elastic_resolves_total").labels(warm="true").set_total(
+        metrics.resolves_warm
+    )
+    _metric("elastic_resolves_total").labels(warm="false").set_total(
+        metrics.resolves_cold
+    )
+    _metric("elastic_instances_drained_total").set_total(metrics.drained_total)
+    _metric("elastic_slo_violation_seconds_total").set_total(
+        metrics.slo_violation_seconds
+    )
+    admitted = sum(a.admitted for a in metrics.actions)
+    degraded = sum(a.degraded for a in metrics.actions)
+    shed = sum(a.shed for a in metrics.actions)
+    for action, count in (
+        ("admit", admitted),
+        ("degrade", degraded),
+        ("shed", shed),
+    ):
+        _metric("elastic_admission_decisions_total").labels(
+            action=action
+        ).set_total(count)
+    if snapshot is not None:
+        for nf_name, _, _, util in snapshot.per_nf:
+            _metric("elastic_utilization").labels(nf=nf_name).set(util)
+    for sample in absorb_seconds:
+        _metric("elastic_time_to_absorb_seconds").observe(sample)
 
 
 def trace_chaos_timeline(metrics: "ChaosMetrics") -> None:

@@ -78,10 +78,18 @@ class SouthboundFabric:
         rulegen: RuleGenerator,
         config: Optional[ChannelConfig] = None,
         chaos: Optional[SouthboundChaosConfig] = None,
+        drain_retired: bool = False,
     ) -> None:
         self.sim = sim
         self.network = network
         self.rulegen = rulegen
+        #: Opt-in make-before-break instance drain (elastic scale-in):
+        #: when a pushed epoch stops referencing an instance, the fabric
+        #: shuts it down at convergence — after the new rules are live
+        #: everywhere, so no packet ever needed the retired instance.
+        self.drain_retired = drain_retired
+        self.drained_total = 0
+        self._retiring: List[str] = []
         self.config = config or ChannelConfig()
         self.chaos = chaos or SouthboundChaosConfig()
         self.metrics = SouthboundMetrics()
@@ -196,6 +204,16 @@ class SouthboundFabric:
         self.instances = self.rulegen.materialize_instances(
             rules, self.network, sim=self.sim, instances=self.instances
         )
+        if self.drain_retired:
+            referenced = {
+                key
+                for rule_list in rules.vswitch_rules.values()
+                for _, _, rule in rule_list
+                for key in rule.instance_ids
+            }
+            self._retiring = sorted(k for k in self.instances if k not in referenced)
+        else:
+            self._retiring = []
         self.desired = render_desired(
             sorted(self.network.switches),
             sorted(self.network.vswitches),
@@ -293,6 +311,15 @@ class SouthboundFabric:
         if self.converged_epoch >= self.epoch:
             return
         self.converged_epoch = self.epoch
+        if self._retiring:
+            # Drain retired instances only now — the epoch's rules are
+            # installed everywhere, so nothing can route through them.
+            for key in self._retiring:
+                inst = self.instances.pop(key, None)
+                if inst is not None:
+                    inst.shutdown()
+                    self.drained_total += 1
+            self._retiring = []
         record = EpochConvergence(
             epoch=self.epoch,
             pushed_at=self.desired_since,

@@ -65,12 +65,16 @@ class Grant:
 
 @dataclass
 class _Pending:
-    """A queued admission request (FIFO-preference)."""
+    """A queued admission request (priority, then FIFO-preference)."""
 
     tenant_id: str
     need: Dict[str, int]
     n_classes: int
     resume: Callable[[Optional[Grant]], None]
+    #: SLO-class priority (higher drains first; 0 = legacy FIFO only).
+    priority: int = 0
+    #: Arrival sequence number — the FIFO tiebreak within a priority.
+    seq: int = 0
 
 
 class CapacityArbiter:
@@ -242,8 +246,14 @@ class CapacityArbiter:
         tenant_id: str,
         classes: Sequence[TrafficClass],
         resume: Callable[[Grant], None],
+        priority: int = 0,
     ):
         """Reserve capacity for a tenant's target class set.
+
+        ``priority`` orders the parked queue (higher first; equal
+        priorities keep arrival order), letting gold-SLO tenants drain
+        ahead of bronze ones when capacity frees up.  The default keeps
+        the legacy pure-FIFO behaviour bit-identical.
 
         Returns ``(status, grant)``: ``("granted", Grant)`` on immediate
         admission; ``("queued", None)`` when the need fits the physical
@@ -261,7 +271,9 @@ class CapacityArbiter:
         grant = self._apply_if_fits(tenant_id, need, len(classes))
         if grant is not None:
             return self.GRANTED, grant
-        pending = _Pending(tenant_id, need, len(classes), resume)
+        pending = _Pending(
+            tenant_id, need, len(classes), resume, priority, self.queued_total
+        )
         self.queue.append(pending)
         self.queued_total += 1
         self.sim.schedule(self.admission_timeout, self._expire, (pending,))
@@ -371,14 +383,16 @@ class CapacityArbiter:
     # Queue drain
     # ------------------------------------------------------------------
     def _drain(self) -> None:
-        """Scan parked requests in FIFO order, admitting every one that
-        now fits.  Blocked entries are skipped, not barriers — the ops
-        that release capacity must never deadlock behind a starving
-        head — so admission is FIFO-preference, not strict FIFO."""
+        """Scan parked requests in (priority desc, arrival) order,
+        admitting every one that now fits.  Blocked entries are skipped,
+        not barriers — the ops that release capacity must never deadlock
+        behind a starving head — so admission is priority-then-FIFO
+        *preference*, not a strict queue.  With all priorities equal
+        (the default) this is exactly the legacy FIFO-preference scan."""
         admitted = True
         while admitted:
             admitted = False
-            for pending in list(self.queue):
+            for pending in sorted(self.queue, key=lambda p: (-p.priority, p.seq)):
                 grant = self._apply_if_fits(
                     pending.tenant_id, pending.need, pending.n_classes
                 )

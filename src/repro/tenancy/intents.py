@@ -58,6 +58,9 @@ class CreateChain(Intent):
         src / dst: ingress and egress switches.
         chain: the ordered NF sequence.
         rate_mbps: the chain's provisioned traffic rate.
+        slo: SLO class name (see :mod:`repro.elastic.slo`); feeds the
+            arbiter's admission priority and the elastic loop's shed
+            cost.
     """
 
     chain_id: str = ""
@@ -65,6 +68,7 @@ class CreateChain(Intent):
     dst: str = ""
     chain: Tuple[str, ...] = ()
     rate_mbps: float = 0.0
+    slo: str = "silver"
 
     kind = "create"
 
@@ -83,6 +87,12 @@ class CreateChain(Intent):
         if self.rate_mbps <= 0:
             raise IntentValidationError(
                 f"CreateChain {self.chain_id!r}: rate must be positive"
+            )
+        from repro.elastic.slo import SLO_CLASSES
+
+        if self.slo not in SLO_CLASSES:
+            raise IntentValidationError(
+                f"CreateChain {self.chain_id!r}: unknown SLO class {self.slo!r}"
             )
 
 

@@ -33,6 +33,7 @@ from repro.core.rulegen import GeneratedRules, RuleGenerator
 from repro.core.subclasses import SubclassPlan, assign_subclasses
 from repro.core.verify import verify_deployment
 from repro.dataplane.network import DataPlaneNetwork
+from repro.elastic.slo import DEFAULT_SLO, SLO_CLASSES
 from repro.sim.rng import derive
 from repro.southbound.fabric import SouthboundFabric
 from repro.tenancy.arbiter import Grant
@@ -65,6 +66,9 @@ class TenantWorker:
         self.orch = orch
         #: chain_id → desired TrafficClass (the committed blueprint).
         self.chains: Dict[str, TrafficClass] = {}
+        #: Best SLO class seen across this tenant's CreateChain intents;
+        #: its priority orders the tenant in the arbiter's parked queue.
+        self.slo = DEFAULT_SLO
         self.queue: List[IntentRecord] = []
         self.current: Optional[IntentRecord] = None
         self.engine = OptimizationEngine(orch.catalog, orch.engine_config)
@@ -109,6 +113,7 @@ class TenantWorker:
             self.tenant_id,
             [target[k] for k in sorted(target)],
             resume=lambda g, r=record, t=target: self._resume(r, t, g),
+            priority=self.slo.priority,
         )
         self.orch._note_grant(status)
         if status == self.orch.arbiter.REJECTED:
@@ -148,6 +153,9 @@ class TenantWorker:
                 chain=PolicyChain(intent.chain, self.orch.catalog),
                 rate_mbps=intent.rate_mbps,
             )
+            slo = SLO_CLASSES[intent.slo]
+            if slo.priority > self.slo.priority:
+                self.slo = slo
         elif isinstance(intent, UpdateRates):
             for chain_id, rate in intent.rates:
                 cls = self._require_chain(target, chain_id)

@@ -1,0 +1,70 @@
+"""Docs-coverage: benchmark trajectories match the documentation.
+
+Every ``BENCH_*.json`` trajectory at the repo root must have a row in
+EXPERIMENTS.md's "Benchmark trajectories" table naming the benchmark
+module that records it — and the doc must not list trajectories (or
+recording modules) that no longer exist.  Mirrors the metric-catalog
+coverage test in ``tests/test_obs_docs.py``.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+DOC = ROOT / "EXPERIMENTS.md"
+
+ROW_RE = re.compile(
+    r"^\| `(?P<file>BENCH_[a-z0-9_]+\.json)` \| "
+    r"`(?P<module>benchmarks/bench_[a-z0-9_]+\.py)` \|"
+)
+
+
+def _documented_rows():
+    rows = {}
+    for line in DOC.read_text().splitlines():
+        m = ROW_RE.match(line)
+        if m:
+            rows[m.group("file")] = m.group("module")
+    return rows
+
+
+def test_doc_has_trajectory_table():
+    assert DOC.exists(), "EXPERIMENTS.md missing"
+    assert "## Benchmark trajectories" in DOC.read_text()
+    assert len(_documented_rows()) >= 7
+
+
+def test_every_trajectory_is_documented():
+    documented = _documented_rows()
+    on_disk = sorted(p.name for p in ROOT.glob("BENCH_*.json"))
+    missing = [f for f in on_disk if f not in documented]
+    assert not missing, (
+        f"BENCH trajectories at the repo root but absent from "
+        f"EXPERIMENTS.md's 'Benchmark trajectories' table: {missing}"
+    )
+
+
+def test_no_stale_documented_trajectories():
+    documented = _documented_rows()
+    on_disk = {p.name for p in ROOT.glob("BENCH_*.json")}
+    stale = [f for f in documented if f not in on_disk]
+    assert not stale, (
+        f"trajectories documented in EXPERIMENTS.md but missing from the "
+        f"repo root: {stale}"
+    )
+
+
+def test_documented_recorders_exist():
+    for traj, module in _documented_rows().items():
+        path = ROOT / module
+        assert path.exists(), (
+            f"EXPERIMENTS.md says {traj} is recorded by {module}, which "
+            "does not exist"
+        )
+        # The recorder really writes that trajectory (via its conftest
+        # fixture, named record_bench[_<suffix>]).
+        suffix = traj[len("BENCH_") : -len(".json")]
+        fixture = "record_bench" if suffix == "engine" else f"record_bench_{suffix}"
+        assert fixture in path.read_text(), (
+            f"{module} does not use the {fixture} fixture for {traj}"
+        )

@@ -11,7 +11,7 @@ def test_all_experiments_registered():
         "table1", "table4", "table5",
         "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
         "packet_replay", "failure_recovery", "failure_sweep",
-        "southbound_chaos", "scale_sweep", "multi_tenant",
+        "southbound_chaos", "scale_sweep", "multi_tenant", "flash_crowd",
     }
     assert set(EXPERIMENTS) == expected
     assert _QUICKABLE <= set(EXPERIMENTS)
@@ -29,6 +29,22 @@ def test_name_normalization_single_source():
     # Every registry key round-trips through both spellings.
     for key in EXPERIMENTS:
         assert normalize_name(display_name(key)) == key
+
+
+def test_help_text_uses_hyphenated_names(capsys):
+    """The CLI help and EXPERIMENTS.md agree: hyphenated display names
+    everywhere, with normalize_name as the single folding point."""
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    # Every multi-word experiment appears in hyphenated form...
+    for key in EXPERIMENTS:
+        assert display_name(key) in out
+    # ...and no underscored registry key leaks into the help text.
+    for key in EXPERIMENTS:
+        if "_" in key:
+            assert key not in out, f"underscored name {key!r} leaked into --help"
+    assert "normalize_name" in out  # the documented folding point
 
 
 def test_cli_accepts_hyphenated_names(capsys):

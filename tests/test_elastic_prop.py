@@ -1,0 +1,104 @@
+"""Property tests for the elastic loop (hypothesis).
+
+Two invariants the paper's operators care about:
+
+1. **No flapping.** If every scale action re-plans capacity so that the
+   post-action utilization sits at the hysteresis target (which is inside
+   the dead band by construction), then a scale-out can never be followed
+   by a scale-in while the offered load is unchanged — and vice versa.
+2. **Strict cheapest-first shedding.** The set of shed classes is always
+   a prefix of ``shed_order``: if a class was shed, every cheaper class
+   (lower SLO weight, then lower offered rate, then class id) was shed
+   too, and at most one class — the next one in order — is degraded.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.elastic.admission import DEGRADE, SHED, admission_control, shed_order
+from repro.elastic.hysteresis import (
+    HOLD,
+    SCALE_IN,
+    SCALE_OUT,
+    HysteresisConfig,
+    HysteresisState,
+    decide,
+)
+from repro.elastic.slo import SLO_CLASSES
+
+
+@st.composite
+def configs(draw):
+    low = draw(st.floats(min_value=0.05, max_value=0.5))
+    target = draw(st.floats(min_value=low + 0.05, max_value=0.8))
+    high = draw(st.floats(min_value=target + 0.05, max_value=0.99))
+    return HysteresisConfig(
+        high_watermark=high,
+        low_watermark=low,
+        target_utilization=target,
+        up_dwell=draw(st.integers(min_value=1, max_value=4)),
+        down_dwell=draw(st.integers(min_value=1, max_value=6)),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    config=configs(),
+    loads=st.lists(
+        st.floats(min_value=1.0, max_value=10_000.0), min_size=1, max_size=40
+    ),
+)
+def test_no_flap_under_target_replanning(config, loads):
+    """Model the closed loop: each action re-sizes capacity so that the
+    current load lands exactly at the target utilization.  With the
+    target strictly inside the dead band, the very next tick on the SAME
+    load must HOLD — an out can never be chased by an in (or repeat)."""
+    capacity = loads[0] / config.target_utilization
+    state = HysteresisState()
+    last_action = None
+    for load in loads:
+        action, state = decide(config, state, load / capacity)
+        if action != HOLD:
+            # Flap check: an action immediately after another action can
+            # only happen if the load moved; we verify the stronger form
+            # below by re-ticking on the unchanged load.
+            capacity = load / config.target_utilization
+            after, _ = decide(config, state, load / capacity)
+            assert after == HOLD, (
+                f"{action} at load {load} was immediately followed by "
+                f"{after} with no load change"
+            )
+            last_action = action
+    assert last_action in (None, SCALE_OUT, SCALE_IN)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rates=st.lists(
+        st.floats(min_value=0.5, max_value=100.0), min_size=1, max_size=8
+    ),
+    slo_names=st.lists(st.sampled_from(sorted(SLO_CLASSES)), min_size=8, max_size=8),
+    budget_fraction=st.floats(min_value=0.0, max_value=1.2),
+)
+def test_shedding_is_strictly_cheapest_first(rates, slo_names, budget_fraction):
+    offered = {f"c{i}": r for i, r in enumerate(rates)}
+    slo = {cid: SLO_CLASSES[slo_names[i]] for i, cid in enumerate(offered)}
+    budget = budget_fraction * sum(offered.values())
+    plan = admission_control(
+        sorted(offered),
+        offered,
+        slo,
+        lambda admitted: sum(admitted.values()) <= budget,
+    )
+    order = shed_order(sorted(offered), offered, slo)
+    verdicts = {d.class_id: d.action for d in plan.decisions}
+    shed = [cid for cid in order if verdicts[cid] == SHED]
+    degraded = [cid for cid in order if verdicts[cid] == DEGRADE]
+    # Shed set is a prefix of the canonical victim order.
+    assert shed == order[: len(shed)]
+    # At most one degraded class, and it is the next victim in order.
+    assert len(degraded) <= 1
+    if degraded:
+        assert order.index(degraded[0]) == len(shed)
+    # A feasible plan really is feasible under the oracle's own bound.
+    if plan.feasible:
+        assert sum(plan.admitted_rates().values()) <= budget + 1e-9
