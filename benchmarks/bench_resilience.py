@@ -1,0 +1,111 @@
+"""Controller-recovery benchmarks: recovery cost vs journal length.
+
+Two acceptance measurements of the crash-tolerance subsystem
+(``repro.resilience``), recorded to the ``BENCH_resilience.json``
+trajectory:
+
+* **Checkpoint-cadence grid** — one controller crash at a fixed seeded
+  time, recovered under checkpoint intervals of 2, 8 and 24 simulated
+  seconds.  Sparser checkpoints mean an older restored checkpoint and a
+  longer replay suffix; the grid records recovery wall time, replayed /
+  skipped intents and journal length at each cadence, with every cell
+  recovering to the never-crashed run's exact state signature and zero
+  downtime policy-violation-seconds.
+* **Crash-time sweep** — crashes at t = 12, 22 and 32 s under the
+  default cadence, so the journal the recovery must process grows with
+  platform history; recovery wall time is recorded against it.
+
+Every run reuses :func:`repro.experiments.controller_crash.run_once`,
+so the benchmark measures exactly what the experiment proves.
+"""
+
+from repro.chaos.schedule import FaultEvent, FaultKind
+from repro.experiments.controller_crash import CHECKPOINT_INTERVAL, run_once
+
+SEED = 0
+TENANTS = 5
+BURST = 2
+#: Fixed crash point of the cadence grid (mid-churn).
+GRID_CRASH_TIME = 18.0
+DOWNTIME = 1.0
+CHECKPOINT_GRID = (2.0, 8.0, 24.0)
+CRASH_TIMES = (12.0, 22.0, 32.0)
+
+
+def _crash_at(t: float) -> FaultEvent:
+    return FaultEvent(
+        time=t,
+        kind=FaultKind.CONTROLLER_CRASH,
+        target="controller",
+        duration=DOWNTIME,
+    )
+
+
+def _assert_recovered(out, base, label: str) -> None:
+    assert out.signature == base.signature, (
+        f"{label}: recovered signature {out.signature} != "
+        f"baseline {base.signature}"
+    )
+    assert out.downtime_pv_seconds == 0, (
+        f"{label}: {out.downtime_pv_seconds} policy-violation-seconds "
+        "during controller downtime"
+    )
+    assert len(out.recoveries) == 1, f"{label}: expected exactly one recovery"
+
+
+def test_recovery_vs_checkpoint_interval(record_bench_resilience):
+    """Cadence grid: replay length and recovery cost per interval."""
+    metrics = {
+        "seed": SEED,
+        "tenants": TENANTS,
+        "burst": BURST,
+        "crash_time": GRID_CRASH_TIME,
+        "checkpoint_intervals": list(CHECKPOINT_GRID),
+    }
+    for interval in CHECKPOINT_GRID:
+        base = run_once(
+            TENANTS, BURST, SEED, checkpoint_interval=interval
+        )
+        out = run_once(
+            TENANTS,
+            BURST,
+            SEED,
+            events=(_crash_at(GRID_CRASH_TIME),),
+            checkpoint_interval=interval,
+        )
+        label = f"interval {interval}"
+        _assert_recovered(out, base, label)
+        ev = out.recoveries[0]
+        prefix = f"interval_{interval:g}"
+        metrics[f"{prefix}_checkpoint_age_s"] = round(
+            ev.crash_time - ev.checkpoint_time, 3
+        )
+        metrics[f"{prefix}_journal_records"] = ev.journal_records
+        metrics[f"{prefix}_replayed"] = ev.replayed
+        metrics[f"{prefix}_skipped"] = ev.skipped
+        metrics[f"{prefix}_recovery_wall_s"] = round(ev.wall_seconds, 6)
+        metrics[f"{prefix}_signature"] = out.signature
+    record_bench_resilience("resilience_checkpoint_interval_grid", metrics)
+
+
+def test_recovery_vs_journal_length(record_bench_resilience):
+    """Crash-time sweep: recovery wall time as the journal grows."""
+    base = run_once(TENANTS, BURST, SEED)
+    metrics = {
+        "seed": SEED,
+        "tenants": TENANTS,
+        "burst": BURST,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "crash_times": list(CRASH_TIMES),
+        "baseline_signature": base.signature,
+    }
+    for t in CRASH_TIMES:
+        out = run_once(TENANTS, BURST, SEED, events=(_crash_at(t),))
+        _assert_recovered(out, base, f"crash t={t}")
+        ev = out.recoveries[0]
+        prefix = f"crash_{t:g}"
+        metrics[f"{prefix}_journal_records"] = ev.journal_records
+        metrics[f"{prefix}_replayed"] = ev.replayed
+        metrics[f"{prefix}_skipped"] = ev.skipped
+        metrics[f"{prefix}_recovery_wall_s"] = round(ev.wall_seconds, 6)
+    record_bench_resilience("resilience_recovery_vs_journal", metrics)

@@ -13,8 +13,9 @@ files with ``python -m repro.obs.validate BENCH_engine.json``.
 ``BENCH_dataplane.json``, ``record_bench_chaos`` ``BENCH_chaos.json``,
 ``record_bench_southbound`` ``BENCH_southbound.json``,
 ``record_bench_scale`` ``BENCH_scale.json``, ``record_bench_tenancy``
-``BENCH_tenancy.json``, and ``record_bench_elastic``
-``BENCH_elastic.json``.
+``BENCH_tenancy.json``, ``record_bench_elastic``
+``BENCH_elastic.json``, and ``record_bench_resilience``
+``BENCH_resilience.json``.
 """
 
 import json
@@ -32,6 +33,7 @@ BENCH_SOUTHBOUND_FILE = _ROOT / "BENCH_southbound.json"
 BENCH_SCALE_FILE = _ROOT / "BENCH_scale.json"
 BENCH_TENANCY_FILE = _ROOT / "BENCH_tenancy.json"
 BENCH_ELASTIC_FILE = _ROOT / "BENCH_elastic.json"
+BENCH_RESILIENCE_FILE = _ROOT / "BENCH_resilience.json"
 
 
 def report(result) -> None:
@@ -105,3 +107,9 @@ def record_bench_tenancy():
 def record_bench_elastic():
     """Same appender, targeting ``BENCH_elastic.json``."""
     return _appender(BENCH_ELASTIC_FILE)
+
+
+@pytest.fixture(scope="session")
+def record_bench_resilience():
+    """Same appender, targeting ``BENCH_resilience.json``."""
+    return _appender(BENCH_RESILIENCE_FILE)

@@ -36,6 +36,10 @@ from repro.topology.graph import Topology
 #: Label of the chaos substream (satellite: RNG stream hygiene).
 CHAOS_STREAM = "chaos.schedule"
 
+#: Controller-crash schedules ride their own substream so the resilience
+#: experiment never perturbs data-plane or southbound chaos draws.
+CONTROLLER_STREAM = "chaos.controller"
+
 #: Separator inside link targets ("u|v", canonically ordered).
 LINK_SEP = "|"
 
@@ -57,6 +61,12 @@ class FaultKind(enum.Enum):
     VNF_CRASH = "vnf-crash"
     BROWNOUT = "brownout"
     SWITCH_DISCONNECT = "switch-disconnect"
+    #: The controller itself dies for ``duration`` seconds; the data
+    #: plane keeps forwarding on installed rules and recovery replays the
+    #: write-ahead journal (see :mod:`repro.resilience`).  Drawn on its
+    #: own substream (``derive(seed, "chaos.controller")``) so enabling
+    #: controller crashes never perturbs any other schedule.
+    CONTROLLER_CRASH = "controller-crash"
 
 
 @dataclass(frozen=True)
@@ -241,5 +251,58 @@ def generate_schedule(
             severity=rng.uniform(*config.brownout_severity),
         )
 
+    events.sort(key=lambda ev: (ev.time, ev.kind.value, ev.target))
+    return FaultSchedule(seed=seed, events=tuple(events))
+
+
+# ---------------------------------------------------------------------------
+# Controller crashes (repro.resilience)
+# ---------------------------------------------------------------------------
+@dataclass
+class ControllerCrashConfig:
+    """Knobs of controller-crash schedule generation.
+
+    Attributes:
+        crashes: how many times the controller dies during the run.
+        window: crash times are drawn uniformly inside this window.
+        downtime: per-crash downtime range (seconds until recovery runs).
+    """
+
+    crashes: int = 2
+    window: Tuple[float, float] = (8.0, 34.0)
+    downtime: Tuple[float, float] = (0.5, 2.0)
+
+
+def generate_controller_crashes(
+    config: ControllerCrashConfig, seed: int
+) -> FaultSchedule:
+    """Seeded controller-crash schedule on the ``chaos.controller`` stream.
+
+    Every event is a :data:`FaultKind.CONTROLLER_CRASH` with target
+    ``"controller"`` and ``duration`` = downtime before recovery starts.
+    Crashes are spaced by construction: a draw landing within one second
+    of an earlier crash's recovery is shifted past it, so recoveries
+    never overlap (the controller cannot die while it is already dead).
+    """
+    rng = SeededRNG(derive(seed, CONTROLLER_STREAM))
+    lo, hi = config.window
+    if hi < lo:
+        raise ValueError("controller-crash window end precedes its start")
+    events: List[FaultEvent] = []
+    busy_until = float("-inf")
+    for _ in range(config.crashes):
+        t = float(rng.uniform(lo, hi))
+        d = float(rng.uniform(*config.downtime))
+        if t < busy_until + 1.0:
+            t = busy_until + 1.0
+        busy_until = t + d
+        events.append(
+            FaultEvent(
+                time=round(t, 6),
+                kind=FaultKind.CONTROLLER_CRASH,
+                target="controller",
+                duration=round(d, 6),
+            )
+        )
     events.sort(key=lambda ev: (ev.time, ev.kind.value, ev.target))
     return FaultSchedule(seed=seed, events=tuple(events))

@@ -134,6 +134,43 @@ class ElasticController:
         self.metrics = ElasticMetrics(self.config.interval)
         self._pending: Optional[ScaleAction] = None
         self._timer: Optional[Timer] = None
+        #: Optional write-ahead journal (repro.resilience): every scale
+        #: decision is logged before its epoch opens.
+        self.journal = None
+
+    # ------------------------------------------------------------------
+    # Crash tolerance (see repro.resilience)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        self.journal = journal
+
+    def checkpoint_state(self) -> dict:
+        """The loop's control state for a resilience checkpoint."""
+        return {
+            "hysteresis": {"above": self.state.above, "below": self.state.below},
+            "shed_ids": sorted(self.shed_ids),
+            "degraded_caps": {
+                cid: self.degraded_caps[cid] for cid in sorted(self.degraded_caps)
+            },
+            "pending": self._pending is not None,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Adopt a checkpointed control state after recovery.
+
+        A pending (mid-push) action is dropped, not resumed: its epoch
+        never converged, so the deployed plan — re-read from the
+        controller — is still the pre-action one, and the next tick
+        re-decides from the same utilization signal.
+        """
+        self.state = HysteresisState(
+            above=int(snap["hysteresis"]["above"]),
+            below=int(snap["hysteresis"]["below"]),
+        )
+        self.shed_ids = set(snap["shed_ids"])
+        self.degraded_caps = dict(snap["degraded_caps"])
+        self._pending = None
+        self.plan = self.controller.deployment.plan
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -295,6 +332,27 @@ class ElasticController:
             added=len(delta.added),
             retired=len(delta.retired),
         )
+        if self.journal is not None:
+            # Write-ahead: the decision is journaled before the epoch it
+            # drives ever opens on the fabric.
+            from repro.resilience.journal import SCALE
+
+            self.journal.append(
+                SCALE,
+                {
+                    "time": action.time,
+                    "direction": action.direction,
+                    "trigger_utilization": action.trigger_utilization,
+                    "classes": action.classes,
+                    "admitted": action.admitted,
+                    "degraded": action.degraded,
+                    "shed": action.shed,
+                    "planned_instances": action.planned_instances,
+                    "planned_cores": action.planned_cores,
+                    "warm": action.warm,
+                },
+                time=self.sim.now,
+            )
         self._pending = action
         drained_before = self.fabric.drained_total
 

@@ -177,6 +177,25 @@ CATALOG: Tuple[MetricDef, ...] = (
               "Admission-oracle verdicts across scale actions", ("action",)),
     MetricDef("histogram", "elastic_time_to_absorb_seconds",
               "Spike start -> back under the high watermark, converged"),
+    # --------------------------------------------------------- resilience
+    MetricDef("counter", "resilience_journal_records_total",
+              "Write-ahead journal records appended", ("kind",)),
+    MetricDef("counter", "resilience_checkpoints_total",
+              "Desired-state checkpoints written to the journal"),
+    MetricDef("counter", "resilience_crashes_total",
+              "Controller crashes injected"),
+    MetricDef("counter", "resilience_recoveries_total",
+              "Controller recoveries completed (checkpoint + replay)"),
+    MetricDef("counter", "resilience_intents_replayed_total",
+              "Journaled intents redelivered by recovery"),
+    MetricDef("counter", "resilience_intents_skipped_total",
+              "Journaled intents already terminal at the checkpoint"),
+    MetricDef("gauge", "resilience_journal_length",
+              "Records in the write-ahead journal (collected)"),
+    MetricDef("histogram", "resilience_recovery_seconds",
+              "Wall time of one recover() call (host clock)"),
+    MetricDef("counter", "resilience_downtime_seconds_total",
+              "Simulated seconds the controller was dead"),
     # ---------------------------------------------------------- simulator
     MetricDef("counter", "sim_events_fired_total",
               "Events executed by the most recent simulator run (collected)"),

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.dataplane.network import DataPlaneNetwork
     from repro.elastic.metrics import ElasticMetrics
     from repro.elastic.monitor import UtilizationSnapshot
+    from repro.resilience.metrics import ResilienceMetrics
     from repro.southbound.metrics import SouthboundMetrics
 
 
@@ -122,6 +123,23 @@ def collect_southbound(metrics: "SouthboundMetrics") -> None:
     _metric("southbound_reconcile_repairs_total").set_total(
         metrics.reconcile_repairs
     )
+
+
+def collect_resilience(metrics: "ResilienceMetrics") -> None:
+    """Controller-crash accounting → registry (run finalization).
+
+    Downtime, crash and recovery counters are incremented live by the
+    experiment and ``recover()``; this collector reconciles the
+    journal-shape totals, which only the finished run knows.
+    """
+    if not state.REGISTRY.enabled:
+        return
+    for kind in sorted(metrics.journal_kinds):
+        _metric("resilience_journal_records_total").labels(
+            kind=kind
+        ).set_total(metrics.journal_kinds[kind])
+    _metric("resilience_journal_length").set(metrics.journal_length)
+    _metric("resilience_checkpoints_total").set_total(metrics.checkpoints)
 
 
 def collect_elastic(

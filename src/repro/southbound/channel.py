@@ -175,6 +175,10 @@ class ControlChannel:
         self.on_circuit_open = on_circuit_open
         self.on_circuit_close = on_circuit_close
         self.disconnected = False
+        #: Set when the controller crashes (repro.resilience): every
+        #: already-scheduled delivery / ack / timeout becomes a no-op, so
+        #: a dead controller can neither send nor observe anything.
+        self.dead = False
         self.circuit_open = False
         self.consecutive_timeouts = 0
         self._circuit_opened_at: Optional[float] = None
@@ -218,7 +222,7 @@ class ControlChannel:
             self._attempt(pending)
 
     def _attempt(self, pending: _Pending) -> None:
-        if pending.done:
+        if pending.done or self.dead:
             return
         pending.attempts += 1
         attempt = pending.attempts
@@ -248,6 +252,8 @@ class ControlChannel:
         )
 
     def _deliver(self, pending: _Pending, lost_back: bool, back: float) -> None:
+        if self.dead:
+            return
         if self.disconnected:
             # The disconnect landed while the request was in flight.
             self.metrics.record_loss()
@@ -259,6 +265,8 @@ class ControlChannel:
         self.sim.schedule(back, self._on_ack, args=(pending, ack))
 
     def _on_ack(self, pending: _Pending, ack: Ack) -> None:
+        if self.dead:
+            return
         if pending.done:
             return  # a retransmission's ack for an already-settled message
         if self.disconnected:
@@ -275,6 +283,8 @@ class ControlChannel:
         self._pump()
 
     def _on_timeout(self, pending: _Pending, attempt: int) -> None:
+        if self.dead:
+            return
         if pending.done or pending.attempts != attempt:
             return  # stale timer of an earlier attempt
         self.metrics.record_timeout()

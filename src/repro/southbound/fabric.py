@@ -259,6 +259,70 @@ class SouthboundFabric:
         for channel in self.channels.values():
             channel.finalize(self.sim.now)
 
+    # ------------------------------------------------------------------
+    # Crash tolerance (see repro.resilience)
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Sever the controller side of this fabric in place.
+
+        The switches keep every installed rule and VNF instance — only
+        the controller-resident halves die: the reconciler stops, every
+        control channel goes dead (already-scheduled deliveries, acks
+        and timeouts become no-ops), and the in-flight transaction is
+        orphaned.  Recovery builds a *new* fabric over the same network
+        and re-adopts this surviving wire state through its reconciler.
+        """
+        if self._reconcile_timer is not None:
+            self._reconcile_timer.cancel()
+            self._reconcile_timer = None
+        for channel in self.channels.values():
+            channel.dead = True
+        self.current_txn = None
+        self._on_converged = None
+
+    def restore(
+        self,
+        rules: GeneratedRules,
+        classes: Sequence[TrafficClass],
+        instances: Dict[str, VNFInstance],
+        versions: Dict[str, int],
+        epoch: int,
+        converged_epoch: int,
+    ) -> None:
+        """Rebuild checkpointed desired state without opening an epoch.
+
+        The recovery counterpart of :meth:`adopt`: desired state, class
+        versions, and epoch counters come from the checkpoint verbatim
+        (``versions`` keeps entries for deleted class IDs — per-class
+        version numbers must continue the old numbering or a post-crash
+        delete + re-create would render different sub-IDs than a
+        never-crashed run).  Nothing is pushed here; the periodic
+        reconciler diffs the surviving installed state against this
+        desired state and repairs only the drift — never a blind
+        reinstall.  Fresh :class:`SwitchAgent`s start at epoch -1 with
+        empty cookie sets, so a restored epoch >= 0 is always accepted —
+        the recovery analogue of a Kafka-style generation reset.
+        """
+        self.instances = self.rulegen.materialize_instances(
+            rules, self.network, sim=self.sim, instances=dict(instances)
+        )
+        self._fingerprints = {
+            c.class_id: class_fingerprint(rules, c) for c in classes
+        }
+        self.versions = {cid: int(v) for cid, v in versions.items()}
+        self.desired = render_desired(
+            sorted(self.network.switches),
+            sorted(self.network.vswitches),
+            rules,
+            classes,
+            {},
+            self.versions,
+        )
+        self.active_paths = {c.class_id: tuple(c.path) for c in classes}
+        self.epoch = int(epoch)
+        self.converged_epoch = int(converged_epoch)
+        self.desired_since = self.sim.now
+
     def _reconcile(self) -> None:
         if self.desired is None:
             return

@@ -124,6 +124,9 @@ class CapacityArbiter:
         self.queued_total = 0
         self.rejected_total = 0
         self.trims_total = 0
+        #: Set by a controller crash (repro.resilience): already-queued
+        #: admission timeouts and drain passes become no-ops.
+        self.dead = False
 
     # ------------------------------------------------------------------
     # Budgets
@@ -281,6 +284,8 @@ class CapacityArbiter:
 
     def _expire(self, pending: _Pending) -> None:
         """Admission timeout: reject the parked request if still waiting."""
+        if self.dead:
+            return
         if pending in self.queue:
             self.queue.remove(pending)
             self.rejected_total += 1
@@ -389,6 +394,8 @@ class CapacityArbiter:
         behind a starving head — so admission is priority-then-FIFO
         *preference*, not a strict queue.  With all priorities equal
         (the default) this is exactly the legacy FIFO-preference scan."""
+        if self.dead:
+            return
         admitted = True
         while admitted:
             admitted = False

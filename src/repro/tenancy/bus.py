@@ -9,21 +9,35 @@ other event, and two runs with the same seed see the same total order.
 Delivery order is (sim time, schedule order): the kernel's event queue
 breaks time ties by insertion sequence, which the bus inherits, so
 concurrent submissions still arrive deterministically.
+
+Every accepted record is stamped with a seed-deterministic *idempotency
+cookie* (``sha1("{seed}:intent:{seq}")``), and — when a write-ahead
+journal is attached — appended to the journal *before* its delivery is
+scheduled.  The cookie is what makes crash-recovery replay exactly-once:
+a replayed intent whose cookie already reached a terminal state in the
+restored checkpoint is skipped, never double-applied.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, List, Optional
 
+from repro.resilience.journal import INTENT
 from repro.sim.kernel import Simulator
-from repro.tenancy.intents import Intent, IntentRecord
+from repro.tenancy.intents import Intent, IntentRecord, intent_to_payload
 
 
 class IntentBus:
     """Validates intents and delivers them as simulator events."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, seed: int = 0, journal=None) -> None:
         self.sim = sim
+        self.seed = int(seed)
+        #: Optional write-ahead journal (:class:`repro.resilience.journal
+        #: .Journal`); when set, every accepted intent is logged before
+        #: delivery is scheduled.
+        self.journal = journal
         self._subscriber: Optional[Callable[[IntentRecord], None]] = None
         self._seq = 0
         #: Every record ever accepted, in submission order.
@@ -34,6 +48,9 @@ class IntentBus:
         if self._subscriber is not None:
             raise RuntimeError("intent bus already has a subscriber")
         self._subscriber = handler
+
+    def _cookie(self, seq: int) -> str:
+        return hashlib.sha1(f"{self.seed}:intent:{seq}".encode()).hexdigest()[:12]
 
     def submit(self, intent: Intent, delay: float = 0.0) -> IntentRecord:
         """Validate and enqueue one intent; returns its lifecycle record.
@@ -55,8 +72,50 @@ class IntentBus:
             intent=intent,
             seq=self._seq,
             submitted_at=self.sim.now + delay,
+            cookie=self._cookie(self._seq),
         )
         self._seq += 1
         self.records.append(record)
+        if self.journal is not None:
+            # Write-ahead: the journal sees the intent before any effect.
+            self.journal.append(
+                INTENT,
+                {
+                    "seq": record.seq,
+                    "cookie": record.cookie,
+                    "tenant": intent.tenant_id,
+                    "kind": intent.kind,
+                    "submitted_at": record.submitted_at,
+                    "intent": intent_to_payload(intent),
+                },
+                time=self.sim.now,
+            )
         self.sim.schedule(delay, self._subscriber, (record,))
         return record
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def restore(self, records: List[IntentRecord]) -> None:
+        """Adopt a rebuilt record ledger (recovery path).
+
+        The sequence counter resumes past the highest restored seq so
+        post-recovery submissions never collide with replayed cookies.
+        """
+        self.records = list(records)
+        self._seq = (max(r.seq for r in records) + 1) if records else 0
+
+    def redeliver(self, record: IntentRecord) -> None:
+        """Schedule one restored record for (re-)delivery.
+
+        Replay is *not* re-journaled — the record is already in the
+        journal prefix that drove this recovery.  Delivery lands at the
+        original ``submitted_at`` when that is still in the future, else
+        immediately; records are redelivered in seq order, and the
+        kernel's insertion-order tiebreak preserves that order for
+        same-time deliveries.
+        """
+        if self._subscriber is None:
+            raise RuntimeError("intent bus has no subscriber")
+        delay = max(0.0, record.submitted_at - self.sim.now)
+        self.sim.schedule(delay, self._subscriber, (record,))

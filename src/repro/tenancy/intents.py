@@ -162,6 +162,10 @@ class IntentRecord:
     completed_at: Optional[float] = None
     #: Human-readable reason for rejected/failed outcomes.
     detail: str = ""
+    #: Idempotency cookie (seed-deterministic, stamped by the bus).
+    #: Journal replay after a controller crash skips any record whose
+    #: cookie already reached a terminal state — exactly-once effects.
+    cookie: str = ""
 
     @property
     def terminal(self) -> bool:
@@ -186,3 +190,64 @@ class IntentRecord:
             ),
             "detail": self.detail,
         }
+
+
+# ----------------------------------------------------------------------
+# Journal codec
+# ----------------------------------------------------------------------
+def intent_to_payload(intent: Intent) -> Dict[str, object]:
+    """Encode an intent as a JSON-compatible journal payload.
+
+    Rates are stored *unrounded*: the write-ahead journal must replay to
+    a bit-identical blueprint, and JSON round-trips Python floats
+    exactly.
+    """
+    payload: Dict[str, object] = {"kind": intent.kind, "tenant": intent.tenant_id}
+    if isinstance(intent, CreateChain):
+        payload.update(
+            chain_id=intent.chain_id,
+            src=intent.src,
+            dst=intent.dst,
+            chain=list(intent.chain),
+            rate_mbps=intent.rate_mbps,
+            slo=intent.slo,
+        )
+    elif isinstance(intent, UpdateRates):
+        payload["rates"] = [[cid, rate] for cid, rate in intent.rates]
+    elif isinstance(intent, ScaleChain):
+        payload.update(chain_id=intent.chain_id, factor=intent.factor)
+    elif isinstance(intent, DeleteChain):
+        payload["chain_id"] = intent.chain_id
+    else:
+        raise IntentValidationError(f"cannot encode intent {intent!r}")
+    return payload
+
+
+def intent_from_payload(payload: Dict[str, object]) -> Intent:
+    """Decode a journal payload back into its frozen intent."""
+    kind = payload["kind"]
+    tenant = payload["tenant"]
+    if kind == CreateChain.kind:
+        return CreateChain(
+            tenant_id=tenant,
+            chain_id=payload["chain_id"],
+            src=payload["src"],
+            dst=payload["dst"],
+            chain=tuple(payload["chain"]),
+            rate_mbps=payload["rate_mbps"],
+            slo=payload["slo"],
+        )
+    if kind == UpdateRates.kind:
+        return UpdateRates(
+            tenant_id=tenant,
+            rates=tuple((cid, rate) for cid, rate in payload["rates"]),
+        )
+    if kind == ScaleChain.kind:
+        return ScaleChain(
+            tenant_id=tenant,
+            chain_id=payload["chain_id"],
+            factor=payload["factor"],
+        )
+    if kind == DeleteChain.kind:
+        return DeleteChain(tenant_id=tenant, chain_id=payload["chain_id"])
+    raise IntentValidationError(f"cannot decode intent kind {kind!r}")

@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 
 from repro import obs
 from repro.core.engine import EngineConfig
+from repro.resilience.checkpoint import capture
+from repro.resilience.journal import CHECKPOINT, COMMIT, EPOCH, GRANT, SHUTDOWN
 from repro.sim.kernel import Simulator, Timer
 from repro.southbound.config import ChannelConfig
 from repro.tenancy.arbiter import CapacityArbiter
@@ -78,10 +80,18 @@ class TenantOrchestrator:
             capacity_headroom=self.engine_config.capacity_headroom,
             admission_timeout=admission_timeout,
         )
-        self.bus = IntentBus(sim)
+        self.bus = IntentBus(sim, seed=seed)
         self.bus.subscribe(self._dispatch)
         self.workers: Dict[str, TenantWorker] = {}
         self._audit_timer: Optional[Timer] = None
+
+        # Crash tolerance (see repro.resilience): optional write-ahead
+        # journal + periodic checkpoints, and a dead flag that freezes
+        # every already-scheduled callback after crash().
+        self.journal = None
+        self._checkpoint_timer: Optional[Timer] = None
+        self.checkpoints_taken = 0
+        self.dead = False
 
         # Run accounting (ground truth for metrics and experiment rows).
         self.outcomes: Dict[str, int] = {}
@@ -100,6 +110,8 @@ class TenantOrchestrator:
         return self.bus.submit(intent, delay=delay)
 
     def _dispatch(self, record: IntentRecord) -> None:
+        if self.dead:
+            return
         tenant_id = record.intent.tenant_id
         worker = self.workers.get(tenant_id)
         if worker is None:
@@ -119,6 +131,19 @@ class TenantOrchestrator:
         self.outcomes[record.status] = self.outcomes.get(record.status, 0) + 1
         if record.status == COMPLETED and record.latency is not None:
             self.latencies.append(record.latency)
+        if self.journal is not None:
+            self.journal.append(
+                COMMIT,
+                {
+                    "seq": record.seq,
+                    "cookie": record.cookie,
+                    "status": record.status,
+                    "detail": record.detail,
+                    "started_at": record.started_at,
+                    "completed_at": record.completed_at,
+                },
+                time=self.sim.now,
+            )
         if obs.REGISTRY.enabled:
             obs.metric("tenancy_intents_total").labels(
                 kind=record.intent.kind, outcome=record.status
@@ -136,9 +161,24 @@ class TenantOrchestrator:
                 self.arbiter.granted_cores()
             )
 
-    def _note_grant(self, status: str) -> None:
+    def _note_grant(self, tenant_id: str, status: str) -> None:
+        if self.journal is not None:
+            # Write-ahead relative to the op's effects: the worker calls
+            # this before it solves / commits against the grant.
+            self.journal.append(
+                GRANT, {"tenant": tenant_id, "status": status}, time=self.sim.now
+            )
         if obs.REGISTRY.enabled:
             obs.metric("tenancy_grants_total").labels(outcome=status).inc()
+
+    def _journal_epoch(self, tenant_id: str, epoch: int, event: str) -> None:
+        """Log a southbound epoch transition (push opened / converged)."""
+        if self.journal is not None:
+            self.journal.append(
+                EPOCH,
+                {"tenant": tenant_id, "epoch": int(epoch), "event": event},
+                time=self.sim.now,
+            )
 
     def _note_verify(self, tenant_id: str, report) -> None:
         self.convergences += 1
@@ -165,9 +205,97 @@ class TenantOrchestrator:
             self._audit_timer = self.sim.every(interval, self._audit, (interval,))
 
     def stop(self) -> None:
+        """Stop periodic work; with a journal attached, drain losslessly.
+
+        The final checkpoint plus the ``SHUTDOWN`` record (listing every
+        still-pending seq) make stop→start lossless: recovery restores
+        the checkpoint and redelivers exactly the pending suffix.
+        """
         if self._audit_timer is not None:
             self._audit_timer.cancel()
             self._audit_timer = None
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+            self._checkpoint_timer = None
+        if self.journal is not None:
+            self._checkpoint()
+            self.journal.append(
+                SHUTDOWN,
+                {
+                    "pending_seqs": sorted(
+                        r.seq for r in self.bus.records if not r.terminal
+                    )
+                },
+                time=self.sim.now,
+            )
+
+    # ------------------------------------------------------------------
+    # Crash tolerance (see repro.resilience)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal, checkpoint_interval: float = 5.0) -> None:
+        """Attach a write-ahead journal and arm periodic checkpoints."""
+        self.journal = journal
+        self.bus.journal = journal
+        if self._checkpoint_timer is None and checkpoint_interval > 0:
+            self._checkpoint_timer = self.sim.every(
+                checkpoint_interval, self._checkpoint
+            )
+
+    def _checkpoint(self) -> None:
+        """Append one full desired-state snapshot to the journal."""
+        if self.journal is None or self.dead:
+            return
+        self.journal.append(CHECKPOINT, capture(self), time=self.sim.now)
+        self.checkpoints_taken += 1
+        if obs.REGISTRY.enabled:
+            obs.metric("resilience_checkpoints_total").inc()
+
+    def crash(self) -> Dict[str, tuple]:
+        """Kill the controller mid-flight; the data plane keeps running.
+
+        Every control-plane actor is flagged dead (already-queued sim
+        callbacks become no-ops), timers are cancelled, and each live
+        tenant fabric's control channels are severed.  Installed rules
+        stay on the switches — that surviving wire state is returned as
+        ``{tenant: (network, instances)}`` for recovery to re-adopt
+        through the anti-entropy reconciler.
+        """
+        self.dead = True
+        self.arbiter.dead = True
+        if self._audit_timer is not None:
+            self._audit_timer.cancel()
+            self._audit_timer = None
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+            self._checkpoint_timer = None
+        harvest: Dict[str, tuple] = {}
+        for tenant_id in sorted(self.workers):
+            worker = self.workers[tenant_id]
+            if worker.fabric is None:
+                continue
+            worker.fabric.kill()
+            harvest[tenant_id] = (worker.network, dict(worker.fabric.instances))
+        return harvest
+
+    def shutdown(self) -> Dict[str, tuple]:
+        """Graceful quiesce: journal the drain, then release the wire.
+
+        Unlike :meth:`crash` this runs :meth:`stop` first, so the final
+        checkpoint + ``SHUTDOWN`` record land in the journal before the
+        control plane goes dark.  Returns the same live-wire harvest as
+        :meth:`crash` so a follow-up recovery is lossless.
+        """
+        self.stop()
+        self.dead = True
+        self.arbiter.dead = True
+        harvest: Dict[str, tuple] = {}
+        for tenant_id in sorted(self.workers):
+            worker = self.workers[tenant_id]
+            if worker.fabric is None:
+                continue
+            worker.fabric.kill()
+            harvest[tenant_id] = (worker.network, dict(worker.fabric.instances))
+        return harvest
 
     def _audit(self, interval: float) -> None:
         """One isolation tick: ledgers balanced, physical budgets hold."""

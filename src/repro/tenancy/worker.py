@@ -34,6 +34,7 @@ from repro.core.subclasses import SubclassPlan, assign_subclasses
 from repro.core.verify import verify_deployment
 from repro.dataplane.network import DataPlaneNetwork
 from repro.elastic.slo import DEFAULT_SLO, SLO_CLASSES
+from repro.resilience.checkpoint import settled_snapshot
 from repro.sim.rng import derive
 from repro.southbound.fabric import SouthboundFabric
 from repro.tenancy.arbiter import Grant
@@ -77,6 +78,9 @@ class TenantWorker:
         self.fabric: Optional[SouthboundFabric] = None
         self.deployment: Optional[Deployment] = None
         self.ops_completed = 0
+        #: Last op-boundary snapshot (checkpoint source; see
+        #: repro.resilience.checkpoint).  Never mid-operation state.
+        self._settled: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def submit(self, record: IntentRecord) -> None:
@@ -115,7 +119,7 @@ class TenantWorker:
             resume=lambda g, r=record, t=target: self._resume(r, t, g),
             priority=self.slo.priority,
         )
-        self.orch._note_grant(status)
+        self.orch._note_grant(self.tenant_id, status)
         if status == self.orch.arbiter.REJECTED:
             self._finish(record, REJECTED, "exceeds physical capacity")
         elif status == self.orch.arbiter.QUEUED:
@@ -126,6 +130,8 @@ class TenantWorker:
     def _resume(
         self, record: IntentRecord, target, grant: Optional[Grant]
     ) -> None:
+        if self.orch.dead:  # resumption raced a controller crash
+            return
         if grant is None:  # admission timeout: capacity never freed up
             self._finish(record, REJECTED, "capacity admission timed out")
             return
@@ -216,6 +222,9 @@ class TenantWorker:
         if self.fabric is None:
             self._deploy_initial(record, plan, subclass_plan, rules)
         else:
+            # Write-ahead: the epoch this push will open is journaled
+            # before any rule hits the wire.
+            self.orch._journal_epoch(self.tenant_id, self.fabric.epoch + 1, "push")
             self.fabric.push_desired(
                 rules,
                 plan.classes,
@@ -265,6 +274,10 @@ class TenantWorker:
             self.network,
             dict(self.fabric.instances),
         )
+        self._settled = settled_snapshot(self)
+        self.orch._journal_epoch(
+            self.tenant_id, self.fabric.converged_epoch, "converged"
+        )
         report = verify_deployment(self.deployment, self.orch.topo)
         self.orch._note_verify(self.tenant_id, report)
         if report.ok:
@@ -282,6 +295,7 @@ class TenantWorker:
         self.fabric = None
         self.orch.arbiter.release(self.tenant_id)
         self.orch._tenant_down(self.tenant_id)
+        self._settled = settled_snapshot(self)
         self._finish(record, COMPLETED)
 
     def _finish(self, record: IntentRecord, status: str, detail: str = "") -> None:
@@ -290,6 +304,10 @@ class TenantWorker:
         record.completed_at = self.orch.sim.now
         if status == COMPLETED:
             self.ops_completed += 1
+        if self._settled is not None:
+            # The snapshot was taken inside _converged / _teardown, one
+            # increment ago — keep the op counter boundary-consistent.
+            self._settled["ops_completed"] = self.ops_completed
         self.orch._intent_done(record)
         self.current = None
         self._next()
